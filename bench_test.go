@@ -1,0 +1,249 @@
+// Benchmarks regenerating each figure of the paper's evaluation at
+// reduced scale. Every testing.B below corresponds to one figure (or
+// text result) and reports the figure's headline quantity via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation in miniature. cmd/figures produces the full-scale tables.
+package asdsim_test
+
+import (
+	"testing"
+
+	"asdsim"
+	"asdsim/internal/core"
+	"asdsim/internal/mc"
+)
+
+// benchBudget keeps each simulation short enough for a bench harness
+// while still spanning dozens of SLH epochs.
+const benchBudget = 400_000
+
+func runOne(b *testing.B, bench string, mode asdsim.Mode, mutate func(*asdsim.Config)) asdsim.Result {
+	b.Helper()
+	cfg := asdsim.DefaultConfig(mode, benchBudget)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := asdsim.Run(bench, cfg)
+	if err != nil {
+		b.Fatalf("%s/%v: %v", bench, mode, err)
+	}
+	return res
+}
+
+// suiteGains measures the three figure-5/6/7 comparisons over a suite.
+func suiteGains(b *testing.B, suite asdsim.Suite) (pmsNP, msNP, pmsPS float64) {
+	b.Helper()
+	names := asdsim.SuiteBenchmarks(suite)
+	for _, name := range names {
+		np := runOne(b, name, asdsim.NP, nil)
+		ps := runOne(b, name, asdsim.PS, nil)
+		ms := runOne(b, name, asdsim.MS, nil)
+		pms := runOne(b, name, asdsim.PMS, nil)
+		pmsNP += asdsim.Gain(np, pms)
+		msNP += asdsim.Gain(np, ms)
+		pmsPS += asdsim.Gain(ps, pms)
+	}
+	n := float64(len(names))
+	return pmsNP / n, msNP / n, pmsPS / n
+}
+
+func BenchmarkFig02SLH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runOne(b, "GemsFDTD", asdsim.MS, nil)
+		b.ReportMetric(100*res.LastEpochSLH.Frac(2), "len2-reads-%")
+	}
+}
+
+func BenchmarkFig03SLHPhases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runOne(b, "GemsFDTD", asdsim.MS, func(c *asdsim.Config) { c.ASD.KeepHistory = true })
+		// Headline: how widely per-epoch SLHs swing around the mean
+		// (max pairwise L1 distance between epochs).
+		var maxD float64
+		hs := res.EpochSLHs
+		for i := 0; i < len(hs); i++ {
+			for j := i + 1; j < len(hs); j++ {
+				if d := hs[i].L1Distance(hs[j]); d > maxD {
+					maxD = d
+				}
+			}
+		}
+		b.ReportMetric(maxD, "max-epoch-L1-dist")
+	}
+}
+
+func BenchmarkFig05SPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pmsNP, msNP, pmsPS := suiteGains(b, asdsim.SPEC2006FP)
+		b.ReportMetric(pmsNP, "PMSvsNP-%")
+		b.ReportMetric(msNP, "MSvsNP-%")
+		b.ReportMetric(pmsPS, "PMSvsPS-%")
+	}
+}
+
+func BenchmarkFig06NAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pmsNP, msNP, pmsPS := suiteGains(b, asdsim.NAS)
+		b.ReportMetric(pmsNP, "PMSvsNP-%")
+		b.ReportMetric(msNP, "MSvsNP-%")
+		b.ReportMetric(pmsPS, "PMSvsPS-%")
+	}
+}
+
+func BenchmarkFig07Commercial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pmsNP, msNP, pmsPS := suiteGains(b, asdsim.Commercial)
+		b.ReportMetric(pmsNP, "PMSvsNP-%")
+		b.ReportMetric(msNP, "MSvsNP-%")
+		b.ReportMetric(pmsPS, "PMSvsPS-%")
+	}
+}
+
+// powerDelta measures the figure-8/9/10 PMS-vs-PS DRAM power and energy
+// deltas over a suite.
+func powerDelta(b *testing.B, suite asdsim.Suite) (powerInc, energyRed float64) {
+	b.Helper()
+	names := asdsim.SuiteBenchmarks(suite)
+	for _, name := range names {
+		ps := runOne(b, name, asdsim.PS, nil)
+		pms := runOne(b, name, asdsim.PMS, nil)
+		powerInc += 100 * (pms.DRAM.AvgPowerWatts/ps.DRAM.AvgPowerWatts - 1)
+		energyRed += 100 * (1 - pms.DRAM.EnergyNJ/ps.DRAM.EnergyNJ)
+	}
+	n := float64(len(names))
+	return powerInc / n, energyRed / n
+}
+
+func BenchmarkFig08PowerSPEC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, e := powerDelta(b, asdsim.SPEC2006FP)
+		b.ReportMetric(p, "power-increase-%")
+		b.ReportMetric(e, "energy-reduction-%")
+	}
+}
+
+func BenchmarkFig09PowerNAS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, e := powerDelta(b, asdsim.NAS)
+		b.ReportMetric(p, "power-increase-%")
+		b.ReportMetric(e, "energy-reduction-%")
+	}
+}
+
+func BenchmarkFig10PowerCommercial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, e := powerDelta(b, asdsim.Commercial)
+		b.ReportMetric(p, "power-increase-%")
+		b.ReportMetric(e, "energy-reduction-%")
+	}
+}
+
+func BenchmarkFig11Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var adaptiveVsFixed, asdVsNextLine float64
+		for _, name := range asdsim.FocusBenchmarks() {
+			base := runOne(b, name, asdsim.PMS, nil)
+			fixed1 := runOne(b, name, asdsim.PMS, func(c *asdsim.Config) { c.Sched.Fixed = core.PolicyIdleSystem })
+			nl := runOne(b, name, asdsim.PMS, func(c *asdsim.Config) { c.Engine = asdsim.EngineNextLine })
+			adaptiveVsFixed += 100 * (float64(fixed1.Cycles)/float64(base.Cycles) - 1)
+			asdVsNextLine += 100 * (float64(nl.Cycles)/float64(base.Cycles) - 1)
+		}
+		n := float64(len(asdsim.FocusBenchmarks()))
+		b.ReportMetric(adaptiveVsFixed/n, "adaptive-vs-fixed1-%")
+		b.ReportMetric(asdVsNextLine/n, "asd-vs-nextline-%")
+	}
+}
+
+func BenchmarkFig12StreamMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var shortMass float64
+		for _, name := range asdsim.FocusBenchmarks() {
+			res := runOne(b, name, asdsim.MS, nil)
+			for l := 1; l <= 5; l++ {
+				shortMass += res.ApproxLengths.Frac(l)
+			}
+		}
+		b.ReportMetric(100*shortMass/float64(len(asdsim.FocusBenchmarks())), "len1-5-stream-%")
+	}
+}
+
+func BenchmarkFig13Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var useful, coverage, delayed float64
+		for _, name := range asdsim.FocusBenchmarks() {
+			res := runOne(b, name, asdsim.PMS, nil)
+			useful += res.UsefulPrefetchFrac
+			coverage += res.Coverage
+			delayed += res.DelayedRegularFrac
+		}
+		n := float64(len(asdsim.FocusBenchmarks()))
+		b.ReportMetric(100*useful/n, "useful-%")
+		b.ReportMetric(100*coverage/n, "coverage-%")
+		b.ReportMetric(100*delayed/n, "delayed-%")
+	}
+}
+
+func BenchmarkFig14PBSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := runOne(b, "milc", asdsim.PMS, func(c *asdsim.Config) { c.MC.PBLines = 8 })
+		big := runOne(b, "milc", asdsim.PMS, func(c *asdsim.Config) { c.MC.PBLines = 1024 })
+		b.ReportMetric(float64(small.Cycles)/float64(big.Cycles), "pb8-vs-pb1024-slowdown")
+	}
+}
+
+func BenchmarkFig15SFSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := runOne(b, "milc", asdsim.PMS, func(c *asdsim.Config) { c.ASD.Filter.Slots = 4 })
+		big := runOne(b, "milc", asdsim.PMS, func(c *asdsim.Config) { c.ASD.Filter.Slots = 64 })
+		b.ReportMetric(float64(small.Cycles)/float64(big.Cycles), "sf4-vs-sf64-slowdown")
+	}
+}
+
+func BenchmarkFig16SLHAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runOne(b, "GemsFDTD", asdsim.MS, nil)
+		b.ReportMetric(res.TrueLengths.L1Distance(res.ApproxLengths), "L1-distance")
+	}
+}
+
+func BenchmarkSMT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		smt := func(c *asdsim.Config) {
+			c.Threads = 2
+			c.InstrBudget = benchBudget / 2
+		}
+		np := runOne(b, "milc", asdsim.NP, smt)
+		pms := runOne(b, "milc", asdsim.PMS, smt)
+		b.ReportMetric(asdsim.Gain(np, pms), "smt-PMSvsNP-%")
+	}
+}
+
+func BenchmarkSchedulerInteraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gain := func(k mc.SchedulerKind) float64 {
+			np := runOne(b, "milc", asdsim.NP, func(c *asdsim.Config) { c.MC.Scheduler = k })
+			pms := runOne(b, "milc", asdsim.PMS, func(c *asdsim.Config) { c.MC.Scheduler = k })
+			return asdsim.Gain(np, pms)
+		}
+		ahb := gain(mc.SchedAHB)
+		inorder := gain(mc.SchedInOrder)
+		b.ReportMetric(ahb-inorder, "ahb-minus-inorder-gain-%")
+	}
+}
+
+func BenchmarkHWCost(b *testing.B) {
+	// Covered analytically; the benchmark exists so every experiment id
+	// in DESIGN.md has a bench target. It measures the cost computation
+	// itself (it is trivially fast).
+	for i := 0; i < b.N; i++ {
+		runHWCost(b)
+	}
+}
+
+func BenchmarkExtensionMultiline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d1 := runOne(b, "bwaves", asdsim.MS, nil)
+		d4 := runOne(b, "bwaves", asdsim.MS, func(c *asdsim.Config) { c.ASD.MaxDegree = 4 })
+		b.ReportMetric(asdsim.Gain(d1, d4), "degree4-vs-degree1-%")
+	}
+}

@@ -1,0 +1,108 @@
+// Command asdsim runs one benchmark under one or more prefetching
+// configurations and prints detailed statistics.
+//
+// Usage:
+//
+//	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asdsim/internal/sim"
+	"asdsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "GemsFDTD", "benchmark name (see -list)")
+	budget := flag.Uint64("budget", 1_000_000, "instructions per thread")
+	threads := flag.Int("threads", 1, "SMT threads (1 or 2)")
+	modes := flag.String("modes", "NP,PS,MS,PMS", "comma-separated configurations")
+	engine := flag.String("engine", "asd", "memory-side engine: asd, next-line, p5-style")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "print extended statistics")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			p, _ := workload.ByName(n)
+			fmt.Printf("%-12s %s\n", n, p.Suite)
+		}
+		return
+	}
+
+	var baseline uint64
+	for _, ms := range strings.Split(*modes, ",") {
+		mode, err := parseMode(strings.TrimSpace(ms))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := sim.Default(mode, *budget)
+		cfg.Threads = *threads
+		cfg.Engine, err = parseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := sim.Run(*bench, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if baseline == 0 {
+			baseline = res.Cycles
+		}
+		gain := 100 * (float64(baseline)/float64(res.Cycles) - 1)
+		fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-vs-first=%+.1f%%\n", mode, res.Cycles, res.IPC, gain)
+		if *verbose {
+			fmt.Printf("     L1=%.3f L2=%.3f L3=%.3f | MC reads=%d writes=%d dramR=%d dramW=%d\n",
+				res.L1HitRate, res.L2HitRate, res.L3HitRate,
+				res.MC.RegularReads, res.MC.RegularWrites, res.MC.DRAMReads, res.MC.DRAMWrites)
+			fmt.Printf("     pf: toLPQ=%d drops=%d toDRAM=%d | pbEntry=%d pbLate=%d merge=%d\n",
+				res.MC.PrefetchesToLPQ, res.MC.LPQDrops, res.MC.PrefetchesToDRAM,
+				res.MC.PBHitsEntry, res.MC.PBHitsLate, res.MC.PFMergeHits)
+			fmt.Printf("     coverage=%.3f useful=%.3f delayed=%.4f psIssued=%d stall=%d\n",
+				res.Coverage, res.UsefulPrefetchFrac, res.DelayedRegularFrac, res.PSIssued, res.StallCycles)
+			fmt.Printf("     dram: acts=%d rowHit=%d rowMiss=%d rowConf=%d power=%.2fW energy=%.1fmJ\n",
+				res.DRAM.Activations, res.DRAM.RowHits, res.DRAM.RowMisses, res.DRAM.RowConflicts,
+				res.DRAM.AvgPowerWatts, res.DRAM.EnergyNJ/1e6)
+			fmt.Printf("     policyEpochs=%v\n", res.PolicyEpochs)
+			if res.ApproxLengths != nil {
+				fmt.Printf("     trueSLH:   %v\n", res.TrueLengths)
+				fmt.Printf("     approxSLH: %v\n", res.ApproxLengths)
+			}
+		}
+	}
+}
+
+func parseMode(s string) (sim.Mode, error) {
+	switch strings.ToUpper(s) {
+	case "NP":
+		return sim.NP, nil
+	case "PS":
+		return sim.PS, nil
+	case "MS":
+		return sim.MS, nil
+	case "PMS":
+		return sim.PMS, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func parseEngine(s string) (sim.EngineKind, error) {
+	switch strings.ToLower(s) {
+	case "asd":
+		return sim.EngineASD, nil
+	case "next-line", "nextline":
+		return sim.EngineNextLine, nil
+	case "p5-style", "p5style", "p5":
+		return sim.EngineP5Style, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q", s)
+	}
+}

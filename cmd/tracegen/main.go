@@ -1,0 +1,83 @@
+// Command tracegen writes a synthetic benchmark trace to disk in the
+// binary ASD1 format, so traces can be inspected, archived, or replayed
+// by external tooling.
+//
+// Usage:
+//
+//	tracegen -bench GemsFDTD -records 1000000 -o gems.asd1 [-seed 1] [-thread 0] [-text]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"asdsim/internal/trace"
+	"asdsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "GemsFDTD", "benchmark name")
+	records := flag.Int("records", 1_000_000, "number of memory references to emit")
+	out := flag.String("o", "", "output file (default: <bench>.asd1)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	thread := flag.Int("thread", 0, "hardware thread id (offsets the address space)")
+	text := flag.Bool("text", false, "emit human-readable text instead of binary")
+	flag.Parse()
+
+	prof, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	gen, err := workload.NewGenerator(prof, *seed, *thread)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = *bench + ".asd1"
+		if *text {
+			path = *bench + ".txt"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	src := trace.Limit(gen, *records)
+	if *text {
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(w, "%d %s %#x\n", rec.Gap, rec.Op, rec.Addr)
+		}
+	} else {
+		w := trace.NewWriter(f)
+		for {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := w.Write(rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d records of %s to %s\n", *records, *bench, path)
+}

@@ -1,0 +1,40 @@
+// Adaptive Scheduling study: compare the five fixed prefetch-priority
+// policies of §3.5 against the adaptive selector that moves between them
+// using memory-system conflict feedback (the paper's Fig. 11 ablation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asdsim"
+	"asdsim/internal/core"
+)
+
+func main() {
+	const bench = "GemsFDTD"
+	const budget = 800_000
+
+	run := func(fixed core.Policy) asdsim.Result {
+		cfg := asdsim.DefaultConfig(asdsim.PMS, budget)
+		cfg.Sched.Fixed = fixed
+		res, err := asdsim.Run(bench, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	adaptive := run(0)
+	fmt.Printf("%s under PMS, normalized execution time (lower is better):\n\n", bench)
+	fmt.Printf("  %-34s 1.000  (policy residency per epoch: %v)\n",
+		"adaptive scheduling", adaptive.PolicyEpochs[1:])
+	for p := core.PolicyIdleSystem; p <= core.PolicyTimestamp; p++ {
+		r := run(p)
+		fmt.Printf("  fixed policy %d (%-17s) %.3f\n",
+			int(p), p, float64(r.Cycles)/float64(adaptive.Cycles))
+	}
+	fmt.Println("\nPaper §5.3: adaptive scheduling improves on the fixed policies by 2.3-3.6%;")
+	fmt.Println("a fixed conservative policy unnecessarily blocks prefetches behind demand")
+	fmt.Println("commands that could not issue anyway.")
+}

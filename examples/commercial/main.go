@@ -1,0 +1,43 @@
+// Commercial-workload study: the paper's central claim is that Adaptive
+// Stream Detection helps even workloads with low spatial locality,
+// because they still contain many very short streams. This example runs
+// the five commercial benchmarks, shows their stream-length mixtures as
+// seen by the Stream Filter, and the gains memory-side prefetching
+// extracts from streams as short as two lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"asdsim"
+	"asdsim/internal/report"
+)
+
+func main() {
+	cfg := asdsim.DefaultConfig(asdsim.NP, 1_000_000)
+
+	t := report.NewTable("benchmark", "len-1 streams", "len-2..5 streams", "MS gain", "coverage")
+	for _, bench := range asdsim.SuiteBenchmarks(asdsim.Commercial) {
+		cmp, err := asdsim.Compare(bench, cfg, asdsim.NP, asdsim.MS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms := cmp.ByMode[asdsim.MS]
+		h := ms.ApproxLengths
+		var short float64
+		for l := 2; l <= 5; l++ {
+			short += h.Frac(l)
+		}
+		t.AddRow(bench,
+			report.Frac(h.Frac(1)),
+			report.Frac(short),
+			report.Pct(cmp.GainOver(asdsim.MS, asdsim.NP)),
+			report.Frac(ms.Coverage))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nEven with most streams at length 1, the 2-5 mass is large enough for the")
+	fmt.Println("SLH-guided prefetcher to cover a meaningful fraction of reads (paper §5,")
+	fmt.Println("Figs. 7 and 12).")
+}

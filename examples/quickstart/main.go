@@ -1,0 +1,33 @@
+// Quickstart: run one benchmark under the paper's four configurations
+// and print the headline comparison — the minimal use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asdsim"
+)
+
+func main() {
+	const bench = "GemsFDTD" // the paper's running example
+	cfg := asdsim.DefaultConfig(asdsim.NP, 1_000_000)
+
+	cmp, err := asdsim.Compare(bench, cfg) // runs NP, PS, MS, PMS
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d instructions per run\n\n", bench, cfg.InstrBudget)
+	for _, m := range []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS} {
+		r := cmp.ByMode[m]
+		fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-over-NP=%+.1f%%\n",
+			m, r.Cycles, r.IPC, cmp.GainOver(m, asdsim.NP))
+	}
+
+	pms := cmp.ByMode[asdsim.PMS]
+	fmt.Printf("\nmemory-side prefetcher under PMS:\n")
+	fmt.Printf("  coverage:          %.1f%% of demand reads served from the Prefetch Buffer\n", 100*pms.Coverage)
+	fmt.Printf("  useful prefetches: %.1f%%\n", 100*pms.UsefulPrefetchFrac)
+	fmt.Printf("  delayed commands:  %.2f%% of regular commands delayed by prefetches\n", 100*pms.DelayedRegularFrac)
+}

@@ -1,0 +1,3 @@
+module asdsim
+
+go 1.22

@@ -1,0 +1,21 @@
+package asdsim_test
+
+import (
+	"testing"
+
+	"asdsim/internal/hwcost"
+)
+
+// runHWCost exercises the §5.1 analytic hardware-cost model and checks
+// the paper's headline numbers hold.
+func runHWCost(b *testing.B) {
+	b.Helper()
+	c := hwcost.Compute(hwcost.Default())
+	if c.ChipAreaIncrease < 0.0008 || c.ChipAreaIncrease > 0.0011 {
+		b.Fatalf("chip area increase %v outside the paper's ~0.098%%", c.ChipAreaIncrease)
+	}
+	ta := hwcost.ComputeTableAlternative(4)
+	if hwcost.StorageRatio(c, ta) < 10 {
+		b.Fatalf("table alternative should dwarf ASD storage")
+	}
+}

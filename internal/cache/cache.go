@@ -1,0 +1,191 @@
+// Package cache models the Power5+ cache hierarchy that filters processor
+// references before they reach the memory controller: a write-back,
+// write-allocate set-associative cache primitive plus a three-level
+// hierarchy (L1D, shared L2, off-chip victim L3).
+//
+// The caches are passive structures — they answer hit/miss and track
+// dirty state and evictions; all timing lives in the CPU and memory
+// controller models.
+package cache
+
+import (
+	"fmt"
+
+	"asdsim/internal/mem"
+)
+
+// Cache is one set-associative, write-back cache level with true-LRU
+// replacement.
+type Cache struct {
+	name  string
+	sets  int
+	assoc int
+
+	tags  []uint64 // per way-slot: line tag (full line number)
+	valid []bool
+	dirty []bool
+	used  []uint64 // LRU timestamps
+	tick  uint64
+
+	// Stats.
+	Accesses uint64
+	Hits     uint64
+}
+
+// New returns a cache of sizeBytes with the given associativity, using
+// the global mem.LineSize. sizeBytes must be assoc*LineSize*2^k.
+func New(name string, sizeBytes, assoc int) *Cache {
+	if sizeBytes <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache %s: non-positive geometry", name))
+	}
+	lines := sizeBytes / mem.LineSize
+	if lines*mem.LineSize != sizeBytes {
+		panic(fmt.Sprintf("cache %s: size %d not a multiple of line size", name, sizeBytes))
+	}
+	sets := lines / assoc
+	if sets*assoc != lines {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by assoc %d", name, lines, assoc))
+	}
+	return &Cache{
+		name:  name,
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint64, lines),
+		valid: make([]bool, lines),
+		dirty: make([]bool, lines),
+		used:  make([]uint64, lines),
+	}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.assoc * mem.LineSize }
+
+// setOf maps a line to its set by modulo, which accommodates the
+// Power5+'s non-power-of-two L2 (three 640 KB slices, 1536 sets total).
+func (c *Cache) setOf(l mem.Line) int { return int(uint64(l) % uint64(c.sets)) }
+
+// find returns the way-slot index of line, or -1.
+func (c *Cache) find(l mem.Line) int {
+	base := c.setOf(l) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == uint64(l) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup probes for line; on a hit it refreshes LRU state and, if store,
+// marks the line dirty. It counts toward the hit/access statistics.
+func (c *Cache) Lookup(l mem.Line, store bool) bool {
+	c.Accesses++
+	i := c.find(l)
+	if i < 0 {
+		return false
+	}
+	c.Hits++
+	c.tick++
+	c.used[i] = c.tick
+	if store {
+		c.dirty[i] = true
+	}
+	return true
+}
+
+// Contains reports presence without disturbing LRU state or statistics.
+func (c *Cache) Contains(l mem.Line) bool { return c.find(l) >= 0 }
+
+// Victim describes a line evicted by an Insert.
+type Victim struct {
+	Line  mem.Line
+	Dirty bool
+}
+
+// Insert places line into the cache (MRU position), returning the evicted
+// victim if any. Inserting a line already present just refreshes its LRU
+// state (and ORs in dirty).
+func (c *Cache) Insert(l mem.Line, dirty bool) (Victim, bool) {
+	c.tick++
+	if i := c.find(l); i >= 0 {
+		c.used[i] = c.tick
+		c.dirty[i] = c.dirty[i] || dirty
+		return Victim{}, false
+	}
+	base := c.setOf(l) * c.assoc
+	victimIdx := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victimIdx = i
+			oldest = 0
+			break
+		}
+		if c.used[i] < oldest {
+			oldest = c.used[i]
+			victimIdx = i
+		}
+	}
+	var v Victim
+	evicted := false
+	if c.valid[victimIdx] {
+		v = Victim{Line: mem.Line(c.tags[victimIdx]), Dirty: c.dirty[victimIdx]}
+		evicted = true
+	}
+	c.tags[victimIdx] = uint64(l)
+	c.valid[victimIdx] = true
+	c.dirty[victimIdx] = dirty
+	c.used[victimIdx] = c.tick
+	return v, evicted
+}
+
+// InsertLRU places line into the LRU position of its set (used for
+// low-confidence fills). Behaviour otherwise matches Insert.
+func (c *Cache) InsertLRU(l mem.Line, dirty bool) (Victim, bool) {
+	v, ev := c.Insert(l, dirty)
+	if i := c.find(l); i >= 0 {
+		c.used[i] = 0
+	}
+	return v, ev
+}
+
+// Invalidate removes line if present, returning whether it was present
+// and dirty.
+func (c *Cache) Invalidate(l mem.Line) (present, dirty bool) {
+	i := c.find(l)
+	if i < 0 {
+		return false, false
+	}
+	c.valid[i] = false
+	return true, c.dirty[i]
+}
+
+// HitRate returns hits/accesses (0 when unused).
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.used[i] = 0
+	}
+	c.tick = 0
+	c.Accesses = 0
+	c.Hits = 0
+}

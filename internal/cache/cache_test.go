@@ -1,0 +1,301 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asdsim/internal/mem"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New("t", 1024, 2) // 8 lines, 4 sets
+	if c.Sets() != 4 || c.Assoc() != 2 || c.SizeBytes() != 1024 {
+		t.Errorf("geometry: sets=%d assoc=%d size=%d", c.Sets(), c.Assoc(), c.SizeBytes())
+	}
+	if c.Name() != "t" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := map[string]func(){
+		"zero size":    func() { New("x", 0, 1) },
+		"zero assoc":   func() { New("x", 1024, 0) },
+		"ragged":       func() { New("x", 1000, 2) },
+		"indivisible ": func() { New("x", 5*128, 2) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New("t", 1024, 2)
+	if c.Lookup(5, false) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(5, false)
+	if !c.Lookup(5, false) {
+		t.Fatal("miss after insert")
+	}
+	if c.Accesses != 2 || c.Hits != 1 {
+		t.Errorf("stats: acc=%d hits=%d", c.Accesses, c.Hits)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("t", 2*128*4, 2) // 4 sets, 2 ways
+	// Lines 0, 4, 8 all map to set 0 (sets=4).
+	c.Insert(0, false)
+	c.Insert(4, false)
+	c.Lookup(0, false) // 0 becomes MRU; 4 is LRU
+	v, ev := c.Insert(8, false)
+	if !ev || v.Line != 4 {
+		t.Fatalf("evicted %v (ev=%v), want line 4", v, ev)
+	}
+	if !c.Contains(0) || !c.Contains(8) || c.Contains(4) {
+		t.Error("wrong residency after eviction")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := New("t", 2*128*4, 2)
+	c.Insert(0, false)
+	c.Insert(4, false)
+	c.Insert(0, true) // refresh 0 as MRU and dirty
+	v, ev := c.Insert(8, false)
+	if !ev || v.Line != 4 {
+		t.Fatalf("evicted %v, want 4", v)
+	}
+	inv, dirty := c.Invalidate(0)
+	if !inv || !dirty {
+		t.Error("line 0 should be present and dirty")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New("t", 128*2, 1) // 2 sets, direct-mapped
+	c.Insert(0, true)
+	v, ev := c.Insert(2, false) // same set 0
+	if !ev || v.Line != 0 || !v.Dirty {
+		t.Fatalf("victim = %+v ev=%v, want dirty line 0", v, ev)
+	}
+}
+
+func TestStoreMarksDirty(t *testing.T) {
+	c := New("t", 128*4, 2)
+	c.Insert(1, false)
+	c.Lookup(1, true)
+	_, dirty := c.Invalidate(1)
+	if !dirty {
+		t.Error("store hit should dirty the line")
+	}
+}
+
+func TestInvalidateMissing(t *testing.T) {
+	c := New("t", 128*4, 2)
+	if present, _ := c.Invalidate(9); present {
+		t.Error("invalidate of absent line reported present")
+	}
+}
+
+func TestInsertLRU(t *testing.T) {
+	c := New("t", 2*128*4, 2) // 4 sets 2 ways
+	c.Insert(0, false)
+	c.InsertLRU(4, false) // 4 goes to LRU slot despite being newest
+	v, ev := c.Insert(8, false)
+	if !ev || v.Line != 4 {
+		t.Fatalf("evicted %v, want 4 (the LRU-inserted line)", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New("t", 128*4, 2)
+	c.Insert(1, true)
+	c.Lookup(1, false)
+	c.Reset()
+	if c.Accesses != 0 || c.Hits != 0 || c.Contains(1) {
+		t.Error("Reset incomplete")
+	}
+}
+
+// Property: a cache never holds more distinct lines than its capacity,
+// and a line just inserted is always resident.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := New("t", 128*16, 4) // 16-line capacity
+		for _, l := range lines {
+			line := mem.Line(l % 256)
+			c.Insert(line, false)
+			if !c.Contains(line) {
+				return false
+			}
+		}
+		count := 0
+		for l := mem.Line(0); l < 256; l++ {
+			if c.Contains(l) {
+				count++
+			}
+		}
+		return count <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyBasicWalk(t *testing.T) {
+	h := NewHierarchy(Config{
+		L1Size: 1 << 10, L1Assoc: 2, L1Lat: 2,
+		L2Size: 4 << 10, L2Assoc: 2, L2Lat: 13,
+		L3Size: 16 << 10, L3Assoc: 4, L3Lat: 90,
+	})
+	r := h.Access(100, false)
+	if r.Level != Memory {
+		t.Fatalf("first access level = %v, want Memory", r.Level)
+	}
+	if h.DemandMisses != 1 {
+		t.Errorf("DemandMisses = %d", h.DemandMisses)
+	}
+	h.Fill(100, false)
+	r = h.Access(100, false)
+	if r.Level != LevelL1 || r.Latency != 2 {
+		t.Errorf("after fill: level=%v lat=%d", r.Level, r.Latency)
+	}
+}
+
+func TestHierarchyL2HitPromotesToL1(t *testing.T) {
+	h := NewHierarchy(Config{
+		L1Size: 512, L1Assoc: 2, L1Lat: 2, // 4 lines
+		L2Size: 4 << 10, L2Assoc: 2, L2Lat: 13,
+		L3Size: 16 << 10, L3Assoc: 4, L3Lat: 90,
+	})
+	h.Fill(1, false)
+	// Evict line 1 from the 4-line L1 by filling 4 conflicting lines
+	// (sets=2, so lines 3,5,7,9 map to set 1; line 1 is in set 1).
+	for _, l := range []mem.Line{3, 5, 7, 9} {
+		h.Fill(l, false)
+	}
+	if h.L1.Contains(1) {
+		t.Fatal("line 1 should have been evicted from L1")
+	}
+	r := h.Access(1, false)
+	if r.Level != LevelL2 {
+		t.Fatalf("level = %v, want L2", r.Level)
+	}
+	if !h.L1.Contains(1) {
+		t.Error("L2 hit should refill L1")
+	}
+}
+
+func TestHierarchyVictimL3(t *testing.T) {
+	h := NewHierarchy(Config{
+		L1Size: 512, L1Assoc: 2, L1Lat: 2,
+		L2Size: 1 << 10, L2Assoc: 2, L2Lat: 13, // 8 lines, 4 sets
+		L3Size: 16 << 10, L3Assoc: 4, L3Lat: 90,
+	})
+	h.Fill(0, false)
+	// Force line 0 out of L2: fill two more lines mapping to L2 set 0.
+	h.Fill(4, false)
+	h.Fill(8, false)
+	if h.L2.Contains(0) {
+		t.Fatal("line 0 should have left L2")
+	}
+	if !h.L3.Contains(0) {
+		t.Fatal("L2 victim should land in L3")
+	}
+	r := h.Access(0, false)
+	if r.Level != LevelL3 {
+		t.Fatalf("level = %v, want L3", r.Level)
+	}
+	if h.L3.Contains(0) {
+		t.Error("L3 hit should remove the line from L3 (victim cache)")
+	}
+	if !h.L2.Contains(0) || !h.L1.Contains(0) {
+		t.Error("L3 hit should promote into L2 and L1")
+	}
+}
+
+func TestHierarchyDirtyWriteback(t *testing.T) {
+	h := NewHierarchy(Config{
+		L1Size: 512, L1Assoc: 2, L1Lat: 2,
+		L2Size: 1 << 10, L2Assoc: 2, L2Lat: 13,
+		L3Size: 1 << 10, L3Assoc: 2, L3Lat: 90, // tiny L3: 8 lines
+	})
+	h.Fill(0, true) // dirty fill (store miss)
+	// Push 0 out of L2 into L3, then out of L3.
+	var wbs []mem.Line
+	for _, l := range []mem.Line{4, 8, 12, 16} {
+		wbs = append(wbs, h.Fill(l, false)...)
+	}
+	found := false
+	for _, wb := range wbs {
+		if wb == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dirty line 0 never written back; wbs=%v", wbs)
+	}
+	if h.WritebacksToMemory == 0 {
+		t.Error("WritebacksToMemory not counted")
+	}
+}
+
+func TestHierarchyFillL2Only(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.FillL2Only(7)
+	if h.L1.Contains(7) {
+		t.Error("FillL2Only touched L1")
+	}
+	if !h.L2.Contains(7) {
+		t.Error("FillL2Only missed L2")
+	}
+}
+
+func TestHierarchyContainsAndReset(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Fill(3, false)
+	if !h.Contains(3) {
+		t.Error("Contains(3) false after fill")
+	}
+	h.Reset()
+	if h.Contains(3) || h.DemandMisses != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelL3.String() != "L3" || Memory.String() != "Memory" {
+		t.Error("Level strings wrong")
+	}
+	if Level(9).String() != "Level?" {
+		t.Error("unknown level string")
+	}
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	if h.L1.SizeBytes() != 32<<10 || h.L2.SizeBytes() != 1920<<10 || h.L3.SizeBytes() != 36<<20 {
+		t.Errorf("sizes: %d %d %d", h.L1.SizeBytes(), h.L2.SizeBytes(), h.L3.SizeBytes())
+	}
+}
+
+func BenchmarkHierarchyAccessHit(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	h.Fill(1, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Access(1, false)
+	}
+}

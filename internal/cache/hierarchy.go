@@ -1,0 +1,180 @@
+package cache
+
+import "asdsim/internal/mem"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels; Memory means the access missed every cache.
+const (
+	LevelL1 Level = 1
+	LevelL2 Level = 2
+	LevelL3 Level = 3
+	Memory  Level = 4
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case Memory:
+		return "Memory"
+	default:
+		return "Level?"
+	}
+}
+
+// Config holds hierarchy geometry and hit latencies (CPU cycles). The
+// defaults model the Power5+ of the paper's §4.2.
+type Config struct {
+	L1Size  int
+	L1Assoc int
+	L1Lat   uint64
+
+	L2Size  int
+	L2Assoc int
+	L2Lat   uint64
+
+	L3Size  int
+	L3Assoc int
+	L3Lat   uint64
+}
+
+// DefaultConfig returns the Power5+ geometry: 32 KB 4-way L1D, 1920 KB
+// 10-way shared L2 (the paper's 3x640 KB), 36 MB 12-way off-chip L3, with
+// 128-byte lines throughout.
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 32 << 10, L1Assoc: 4, L1Lat: 2,
+		L2Size: 1920 << 10, L2Assoc: 10, L2Lat: 13,
+		L3Size: 36 << 20, L3Assoc: 12, L3Lat: 90,
+	}
+}
+
+// Hierarchy is the three-level Power5+ data-cache hierarchy. The L3 acts
+// as a victim cache of the L2: L2 evictions land in L3 and L3 hits are
+// promoted back into L2/L1.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	cfg        Config
+
+	// DemandMisses counts accesses that went to memory.
+	DemandMisses uint64
+	// WritebacksToMemory counts dirty lines pushed out of the L3.
+	WritebacksToMemory uint64
+}
+
+// NewHierarchy builds a hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		L1:  New("L1D", cfg.L1Size, cfg.L1Assoc),
+		L2:  New("L2", cfg.L2Size, cfg.L2Assoc),
+		L3:  New("L3", cfg.L3Size, cfg.L3Assoc),
+		cfg: cfg,
+	}
+}
+
+// Result describes the outcome of one access walk.
+type Result struct {
+	// Level where the access hit (Memory on a full miss).
+	Level Level
+	// Latency is the hit latency in CPU cycles; meaningful only when
+	// Level != Memory (memory latency is decided by the MC/DRAM model).
+	Latency uint64
+	// Writebacks lists dirty lines that must be written to memory as a
+	// consequence of this access (L3 victim-cache spills).
+	Writebacks []mem.Line
+}
+
+// Access walks the hierarchy for a load or store to line. Hits refresh
+// LRU state and promote the line up to L1 (and into L2 on an L3 hit,
+// victim-cache style). A full miss performs no fill: callers must invoke
+// Fill when the memory system returns the line.
+func (h *Hierarchy) Access(line mem.Line, store bool) Result {
+	if h.L1.Lookup(line, store) {
+		return Result{Level: LevelL1, Latency: h.cfg.L1Lat}
+	}
+	if h.L2.Lookup(line, store) {
+		wbs := h.fillL1(line, false)
+		return Result{Level: LevelL2, Latency: h.cfg.L2Lat, Writebacks: wbs}
+	}
+	if h.L3.Lookup(line, false) {
+		// Victim hit: promote into L2+L1 and drop from L3.
+		_, dirty := h.L3.Invalidate(line)
+		wbs := h.fillL2(line, dirty || store)
+		return Result{Level: LevelL3, Latency: h.cfg.L3Lat, Writebacks: wbs}
+	}
+	h.DemandMisses++
+	return Result{Level: Memory}
+}
+
+// Fill installs a line arriving from memory into L2 and L1 (the Power5+
+// demand-fill path), returning any dirty lines spilled to memory. store
+// marks the line dirty on arrival (write-allocate).
+func (h *Hierarchy) Fill(line mem.Line, store bool) []mem.Line {
+	return h.fillL2(line, store)
+}
+
+// FillL2Only installs a prefetched line into the L2 without touching the
+// L1, which is how the Power5+ processor-side prefetcher stages its
+// further-ahead lines.
+func (h *Hierarchy) FillL2Only(line mem.Line) []mem.Line {
+	var wbs []mem.Line
+	if v, ev := h.L2.Insert(line, false); ev {
+		wbs = h.spillToL3(v, wbs)
+	}
+	return wbs
+}
+
+// fillL2 inserts into L2 (spilling its victim to L3) and then into L1.
+func (h *Hierarchy) fillL2(line mem.Line, dirty bool) []mem.Line {
+	var wbs []mem.Line
+	if v, ev := h.L2.Insert(line, dirty); ev {
+		wbs = h.spillToL3(v, wbs)
+	}
+	wbs = append(wbs, h.fillL1(line, false)...)
+	return wbs
+}
+
+// fillL1 inserts into L1; L1 victims are write-through into L2 here
+// because the modelled L1 is store-in: dirty victims merge into L2.
+func (h *Hierarchy) fillL1(line mem.Line, dirty bool) []mem.Line {
+	var wbs []mem.Line
+	if v, ev := h.L1.Insert(line, dirty); ev && v.Dirty {
+		// Dirty L1 victim merges into L2 (it is normally present;
+		// if it was evicted from L2 first, reinstall it dirty).
+		if v2, ev2 := h.L2.Insert(v.Line, true); ev2 {
+			wbs = h.spillToL3(v2, wbs)
+		}
+	}
+	return wbs
+}
+
+// spillToL3 pushes an L2 victim into the L3; dirty L3 victims become
+// memory writebacks appended to wbs.
+func (h *Hierarchy) spillToL3(v Victim, wbs []mem.Line) []mem.Line {
+	if v3, ev3 := h.L3.Insert(v.Line, v.Dirty); ev3 && v3.Dirty {
+		h.WritebacksToMemory++
+		wbs = append(wbs, v3.Line)
+	}
+	return wbs
+}
+
+// Contains reports whether any level holds the line (no state change).
+func (h *Hierarchy) Contains(line mem.Line) bool {
+	return h.L1.Contains(line) || h.L2.Contains(line) || h.L3.Contains(line)
+}
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	h.DemandMisses = 0
+	h.WritebacksToMemory = 0
+}

@@ -1,0 +1,209 @@
+package core
+
+import "testing"
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyIdleSystem:     "idle-system",
+		PolicyNoIssuable:     "no-issuable",
+		PolicyCAQEmpty:       "caq-empty",
+		PolicyCAQAlmostEmpty: "caq-almost-empty",
+		PolicyTimestamp:      "timestamp",
+		Policy(9):            "policy(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestPolicyAllowsEmptyLPQ(t *testing.T) {
+	st := QueueState{LPQLen: 0}
+	for p := PolicyIdleSystem; p <= PolicyTimestamp; p++ {
+		if p.Allows(st) {
+			t.Errorf("%v allowed issue from empty LPQ", p)
+		}
+	}
+}
+
+func TestPolicyOrderingIsMonotone(t *testing.T) {
+	// Policies are cumulative, so for EVERY state, anything a more
+	// conservative policy allows is allowed by all less conservative
+	// ones. Sweep a grid of states.
+	var states []QueueState
+	for caq := 0; caq <= 3; caq++ {
+		for reorder := 0; reorder <= 2; reorder++ {
+			for lpq := 1; lpq <= 3; lpq++ {
+				for _, iss := range []bool{false, true} {
+					states = append(states, QueueState{
+						CAQLen: caq, ReorderLen: reorder, ReorderHasIssuable: iss,
+						LPQLen: lpq, LPQCap: 3, LPQHeadArrival: 5, CAQHeadArrival: 10,
+					})
+				}
+			}
+		}
+	}
+	for i, st := range states {
+		prev := false
+		for p := PolicyIdleSystem; p <= PolicyTimestamp; p++ {
+			cur := p.Allows(st)
+			if prev && !cur {
+				t.Errorf("state %d (%+v): %v denies what %v allowed", i, st, p, p-1)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestPolicySemantics(t *testing.T) {
+	// Policy 1: everything empty.
+	idle := QueueState{LPQLen: 1, LPQCap: 3}
+	if !PolicyIdleSystem.Allows(idle) {
+		t.Error("policy 1 should allow on an idle system")
+	}
+	busyReorder := idle
+	busyReorder.ReorderLen = 1
+	if PolicyIdleSystem.Allows(busyReorder) {
+		t.Error("policy 1 must block with a busy reorder queue")
+	}
+	// Policy 2: CAQ empty and nothing issuable.
+	if !PolicyNoIssuable.Allows(busyReorder) {
+		t.Error("policy 2 should allow when reorder commands are stuck")
+	}
+	issuable := busyReorder
+	issuable.ReorderHasIssuable = true
+	if PolicyNoIssuable.Allows(issuable) {
+		t.Error("policy 2 must block with issuable demand commands")
+	}
+	// Policy 3: CAQ empty regardless of reorder state.
+	if !PolicyCAQEmpty.Allows(issuable) {
+		t.Error("policy 3 should allow when CAQ is empty")
+	}
+	caqBusy := issuable
+	caqBusy.CAQLen = 1
+	if PolicyCAQEmpty.Allows(caqBusy) {
+		t.Error("policy 3 must block with non-empty CAQ")
+	}
+	// Policy 4 adds the CAQ<=1-and-LPQ-full condition on top of 1-3.
+	full := caqBusy
+	full.LPQLen, full.LPQCap = 3, 3
+	if !PolicyCAQAlmostEmpty.Allows(full) {
+		t.Error("policy 4 should allow with CAQ=1 and full LPQ")
+	}
+	notFull := full
+	notFull.LPQLen = 2
+	if PolicyCAQAlmostEmpty.Allows(notFull) {
+		t.Error("policy 4 must block when LPQ is not full and CAQ busy")
+	}
+	caq2 := full
+	caq2.CAQLen = 2
+	if PolicyCAQAlmostEmpty.Allows(caq2) {
+		t.Error("policy 4 must block with CAQ > 1")
+	}
+	// Policy 5 adds the timestamp condition.
+	ts := QueueState{LPQLen: 1, LPQCap: 3, CAQLen: 2, LPQHeadArrival: 5, CAQHeadArrival: 10}
+	if !PolicyTimestamp.Allows(ts) {
+		t.Error("policy 5 should allow older LPQ head")
+	}
+	ts.LPQHeadArrival = 20
+	if PolicyTimestamp.Allows(ts) {
+		t.Error("policy 5 must block younger LPQ head")
+	}
+	ts.CAQLen = 0
+	if !PolicyTimestamp.Allows(ts) {
+		t.Error("policy 5 should allow with empty CAQ")
+	}
+}
+
+func TestNewAdaptiveSchedulerPanics(t *testing.T) {
+	for name, cfg := range map[string]SchedulerConfig{
+		"epoch": {EpochReads: 0},
+		"fixed": {EpochReads: 100, Fixed: Policy(7)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewAdaptiveScheduler(cfg)
+		}()
+	}
+}
+
+func TestAdaptiveLoosensWhenQuiet(t *testing.T) {
+	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 10, RaiseThreshold: 5, LowerThreshold: 1})
+	if s.Policy() != PolicyIdleSystem {
+		t.Fatalf("start policy = %v", s.Policy())
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 10; i++ {
+			s.OnRead()
+		}
+	}
+	if s.Policy() != PolicyTimestamp {
+		t.Errorf("policy after quiet epochs = %v, want timestamp", s.Policy())
+	}
+}
+
+func TestAdaptiveTightensOnConflicts(t *testing.T) {
+	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 10, RaiseThreshold: 3, LowerThreshold: 0})
+	// Loosen two steps first.
+	for epoch := 0; epoch < 2; epoch++ {
+		for i := 0; i < 10; i++ {
+			s.OnRead()
+		}
+	}
+	if s.Policy() != PolicyCAQEmpty {
+		t.Fatalf("policy = %v, want caq-empty", s.Policy())
+	}
+	// Now a conflict-heavy epoch tightens.
+	for i := 0; i < 5; i++ {
+		s.OnConflict()
+	}
+	for i := 0; i < 10; i++ {
+		s.OnRead()
+	}
+	if s.Policy() != PolicyNoIssuable {
+		t.Errorf("policy = %v, want no-issuable after conflicts", s.Policy())
+	}
+	if s.TotalConflicts != 5 {
+		t.Errorf("TotalConflicts = %d", s.TotalConflicts)
+	}
+}
+
+func TestAdaptiveSaturatesAtBounds(t *testing.T) {
+	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 5, RaiseThreshold: 1, LowerThreshold: 0})
+	// Conflicts forever: policy pinned at most conservative.
+	for e := 0; e < 10; e++ {
+		s.OnConflict()
+		for i := 0; i < 5; i++ {
+			s.OnRead()
+		}
+	}
+	if s.Policy() != PolicyIdleSystem {
+		t.Errorf("policy = %v, want idle-system", s.Policy())
+	}
+}
+
+func TestFixedPolicyNeverMoves(t *testing.T) {
+	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 5, RaiseThreshold: 1, LowerThreshold: 10, Fixed: PolicyCAQEmpty})
+	for e := 0; e < 10; e++ {
+		for i := 0; i < 5; i++ {
+			s.OnRead()
+		}
+	}
+	if s.Policy() != PolicyCAQEmpty {
+		t.Errorf("fixed policy moved to %v", s.Policy())
+	}
+}
+
+func TestPolicyEpochsAccounting(t *testing.T) {
+	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 2, RaiseThreshold: 100, LowerThreshold: -1})
+	for i := 0; i < 6; i++ { // 3 epochs, no adaptation (lower=-1 unreachable)
+		s.OnRead()
+	}
+	if s.PolicyEpochs[PolicyIdleSystem] != 3 {
+		t.Errorf("PolicyEpochs = %v", s.PolicyEpochs)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"testing"
+
+	"asdsim/internal/mem"
+	"asdsim/internal/slh"
+	"asdsim/internal/stream"
+)
+
+// smallCfg uses a 64-cycle lifetime; tests space reads 32 cycles apart so
+// a finished stream's slot frees after ~2 further reads, as it would in a
+// real memory controller.
+func smallCfg() Config {
+	return Config{
+		Filter:    stream.Config{Slots: 8, Lifetime: 64},
+		SLH:       slh.Config{MaxLength: 16, EpochLen: 100},
+		MaxDegree: 1,
+	}
+}
+
+const step = 32
+
+func TestNewEnginePanics(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxDegree = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for MaxDegree 0")
+		}
+	}()
+	NewEngine(cfg)
+}
+
+// Feed two epochs of pure length-2 streams: in the third epoch the engine
+// must prefetch after the first element and stop after the second —
+// exactly the behaviour the paper's introduction motivates (a k=2
+// fixed-policy prefetcher would waste 50% of its prefetches here).
+func TestEngineLearnsLengthTwoStreams(t *testing.T) {
+	cfg := smallCfg()
+	e := NewEngine(cfg)
+	now := uint64(0)
+	line := mem.Line(0)
+	// 100 reads per epoch = 50 length-2 streams per epoch; run 2 epochs
+	// to fill LHTnext then roll it into LHTcurr.
+	emit := func() (first, second []mem.Line) {
+		first = e.ObserveRead(line, now)
+		now += step
+		second = e.ObserveRead(line+1, now)
+		now += step
+		line += 1000 // far away: next pair is a new stream
+		return
+	}
+	for i := 0; i < 100; i++ {
+		emit()
+	}
+	if e.Epochs() < 1 {
+		t.Fatal("no epoch completed")
+	}
+	var prefFirst, prefSecond int
+	for i := 0; i < 50; i++ {
+		f, s := emit()
+		prefFirst += len(f)
+		prefSecond += len(s)
+	}
+	if prefFirst < 45 {
+		t.Errorf("prefetch after 1st element fired %d/50 times, want ~50", prefFirst)
+	}
+	if prefSecond != 0 {
+		t.Errorf("prefetch after 2nd element fired %d times, want 0", prefSecond)
+	}
+}
+
+// With pure length-1 (random) traffic the engine must learn to stay
+// quiet: no prefetches at all once trained.
+func TestEngineSuppressesOnRandomTraffic(t *testing.T) {
+	e := NewEngine(smallCfg())
+	now := uint64(0)
+	line := mem.Line(0)
+	issue := 0
+	for i := 0; i < 400; i++ {
+		got := e.ObserveRead(line, now)
+		if i >= 200 {
+			issue += len(got)
+		}
+		line += 777 // never adjacent
+		now += step
+	}
+	if issue != 0 {
+		t.Errorf("engine issued %d prefetches on streamless traffic", issue)
+	}
+}
+
+// Long ascending streams: after training, nearly every read should pull
+// the next line.
+func TestEngineLongStreams(t *testing.T) {
+	e := NewEngine(smallCfg())
+	now := uint64(0)
+	base := mem.Line(0)
+	run := func(count int) (issued int) {
+		for i := 0; i < count; i++ {
+			for j := 0; j < 50; j++ { // one length-50 stream
+				got := e.ObserveRead(base+mem.Line(j), now)
+				issued += len(got)
+				now += step
+			}
+			base += 100000
+		}
+		return
+	}
+	run(4) // train 2 epochs
+	issued := run(4)
+	if issued < 150 { // 200 reads, want the vast majority prefetched
+		t.Errorf("long-stream prefetches = %d/200", issued)
+	}
+}
+
+// Descending length-3 streams: the k=1 decision consults the ascending
+// table (direction still unknown, initialized Positive per §3.3), but
+// once the direction commits at k=2 the descending table drives
+// downward prefetches.
+func TestEngineDescendingStreamPrefetchesDownward(t *testing.T) {
+	e := NewEngine(smallCfg())
+	now := uint64(0)
+	base := mem.Line(1 << 20)
+	emit := func() (second []mem.Line) {
+		e.ObserveRead(base, now)
+		second = e.ObserveRead(base-1, now+step)
+		e.ObserveRead(base-2, now+2*step)
+		base -= 1000
+		now += 3 * step
+		return
+	}
+	for i := 0; i < 300; i++ { // train
+		emit()
+	}
+	got := emit()
+	if len(got) != 1 || got[0] != base+1000-2 {
+		t.Errorf("k=2 downward prefetch = %v, want [%d]", got, base+1000-2)
+	}
+}
+
+func TestEngineUntrackedReadNoPrefetch(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Filter.Slots = 1
+	e := NewEngine(cfg)
+	// Fill the single slot, then present an unrelated read.
+	e.ObserveRead(10, 0)
+	got := e.ObserveRead(9999, 1)
+	if got != nil {
+		t.Errorf("untracked read prefetched %v", got)
+	}
+}
+
+func TestEngineMultiDegree(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxDegree = 4
+	e := NewEngine(cfg)
+	now := uint64(0)
+	base := mem.Line(0)
+	for i := 0; i < 5; i++ { // long streams across epochs
+		for j := 0; j < 50; j++ {
+			e.ObserveRead(base+mem.Line(j), now)
+			now += step
+		}
+		base += 100000
+	}
+	got := e.ObserveRead(base, now)
+	if len(got) != 4 {
+		t.Fatalf("degree = %d, want 4", len(got))
+	}
+	for i, l := range got {
+		if l != base+mem.Line(i+1) {
+			t.Errorf("prefetch %d = %d, want %d", i, l, base+mem.Line(i+1))
+		}
+	}
+}
+
+func TestEngineEpochRollsAtEpochLen(t *testing.T) {
+	e := NewEngine(smallCfg())
+	for i := 0; i < 99; i++ {
+		e.ObserveRead(mem.Line(i*100), uint64(i))
+	}
+	if e.Epochs() != 0 {
+		t.Fatalf("epoch rolled early: %d", e.Epochs())
+	}
+	e.ObserveRead(mem.Line(999999), 100)
+	if e.Epochs() != 1 {
+		t.Fatalf("epoch did not roll at 100 reads: %d", e.Epochs())
+	}
+}
+
+func TestEngineApproxLengthsAccumulate(t *testing.T) {
+	e := NewEngine(smallCfg())
+	for i := 0; i < 100; i++ {
+		e.ObserveRead(mem.Line(i*50), uint64(i)) // singles
+	}
+	if e.ApproxLengths.Total() == 0 {
+		t.Error("ApproxLengths empty after an epoch flush")
+	}
+	if e.ApproxLengths.Frac(1) < 0.9 {
+		t.Errorf("singles should dominate: %v", e.ApproxLengths)
+	}
+}
+
+func TestLastEpochSLH(t *testing.T) {
+	e := NewEngine(smallCfg())
+	// One epoch of ascending pairs and descending pairs.
+	now := uint64(0)
+	up, down := mem.Line(0), mem.Line(1<<20)
+	for i := 0; i < 25; i++ {
+		e.ObserveRead(up, now)
+		e.ObserveRead(up+1, now+step)
+		e.ObserveRead(down, now+2*step)
+		e.ObserveRead(down-1, now+3*step)
+		up += 1000
+		down -= 1000
+		now += 4 * step
+	}
+	h := e.LastEpochSLH()
+	if h.Total() == 0 {
+		t.Fatal("epoch SLH empty")
+	}
+	if h.Frac(2) < 0.9 {
+		t.Errorf("length-2 mass = %v, want ~1.0: %v", h.Frac(2), h)
+	}
+}
+
+func TestEngineTickExpiresStreams(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Filter.Lifetime = 100
+	e := NewEngine(cfg)
+	e.ObserveRead(5, 0)
+	e.Tick(1000)
+	if e.Filter().Live() != 0 {
+		t.Error("Tick did not expire the stream")
+	}
+	if e.ApproxLengths.Total() != 1 {
+		t.Error("expired stream not recorded")
+	}
+}

@@ -1,0 +1,152 @@
+// Package hwcost reproduces the paper's §5.1 hardware-cost analysis: the
+// storage the ASD prefetcher adds to the Power5+ memory controller, the
+// resulting area and power estimates, and the comparison against
+// table-based spatial-locality prefetchers that need 64 KB tables per
+// thread.
+package hwcost
+
+import "math"
+
+// Params describes one ASD prefetcher instance plus the host chip's
+// published characteristics.
+type Params struct {
+	// Threads is the number of hardware threads (each gets its own
+	// Stream Filter and LHT pairs; §5.2 "we find it critical to
+	// replicate the locality identification hardware for each thread").
+	Threads int
+	// FilterSlots per thread (8).
+	FilterSlots int
+	// SLHLength is n_s (16).
+	SLHLength int
+	// EpochLen sizes each LHT counter at ceil(log2(EpochLen)) bits.
+	EpochLen int
+	// PBLines and LineBytes size the Prefetch Buffer (16 x 128 B).
+	PBLines   int
+	LineBytes int
+	// LPQEntries is the Low Priority Queue depth (3).
+	LPQEntries int
+	// AddrBits is the physical address width tracked per slot.
+	AddrBits int
+
+	// Chip-level constants from the paper.
+	// MCAreaFrac: the memory controller occupies ~1.61% of the chip.
+	MCAreaFrac float64
+	// MCPowerFrac: the memory controller consumes ~1% of chip power.
+	MCPowerFrac float64
+	// MCAreaIncrease: the paper reports the extensions grow the MC by
+	// ~6.08%.
+	MCAreaIncrease float64
+	// MCPowerIncrease: ~6% more MC power.
+	MCPowerIncrease float64
+}
+
+// Default returns the paper's evaluated configuration for a two-core,
+// four-thread Power5+.
+func Default() Params {
+	return Params{
+		Threads:     4,
+		FilterSlots: 8,
+		SLHLength:   16,
+		EpochLen:    2000,
+		PBLines:     16,
+		LineBytes:   128,
+		LPQEntries:  3,
+		AddrBits:    48,
+
+		MCAreaFrac:      0.0161,
+		MCPowerFrac:     0.01,
+		MCAreaIncrease:  0.0608,
+		MCPowerIncrease: 0.06,
+	}
+}
+
+// Cost is the derived hardware budget.
+type Cost struct {
+	// FilterBits is the Stream Filter storage across all threads.
+	FilterBits int
+	// LHTBits is the Likelihood Table storage across threads (two
+	// directions, two tables each).
+	LHTBits int
+	// PBBits is the Prefetch Buffer storage (data + tags).
+	PBBits int
+	// LPQBits is the Low Priority Queue storage.
+	LPQBits int
+	// TotalBits sums the above.
+	TotalBits int
+
+	// ChipAreaIncrease is the estimated whole-chip area growth
+	// (paper: ~0.098%).
+	ChipAreaIncrease float64
+	// ChipPowerIncrease is the estimated whole-chip power growth
+	// (paper: ~0.06%).
+	ChipPowerIncrease float64
+}
+
+// counterBits returns ceil(log2(n)) — the paper sizes each LHT entry at
+// ceil(log2(e)) bits for epoch length e.
+func counterBits(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Compute derives the cost budget from p.
+func Compute(p Params) Cost {
+	lifetimeBits := 12
+	lengthBits := counterBits(p.SLHLength) + 1
+	slotBits := p.AddrBits + lengthBits + 1 /*direction*/ + lifetimeBits
+	filter := p.Threads * p.FilterSlots * slotBits
+
+	entry := counterBits(p.EpochLen)
+	// Two directions x (LHTcurr + LHTnext) x n_s entries, per thread.
+	lht := p.Threads * 2 * 2 * p.SLHLength * entry
+
+	pbTag := p.AddrBits + 2 // tag + valid + LRU-ish state
+	pb := p.PBLines * (p.LineBytes*8 + pbTag)
+
+	lpq := p.LPQEntries * (p.AddrBits + 32 /*timestamp*/)
+
+	c := Cost{
+		FilterBits: filter,
+		LHTBits:    lht,
+		PBBits:     pb,
+		LPQBits:    lpq,
+	}
+	c.TotalBits = filter + lht + pb + lpq
+	c.ChipAreaIncrease = p.MCAreaFrac * p.MCAreaIncrease
+	c.ChipPowerIncrease = p.MCPowerFrac * p.MCPowerIncrease
+	return c
+}
+
+// TableAlternative models the §5.1 comparison point: spatial-locality
+// prefetchers that need a 64 KB detection table per thread. The paper
+// estimates each table at ~25% of a 64 KB L1 I-cache's power, which is
+// ~0.6% of chip power per table.
+type TableAlternative struct {
+	// TableBits is the total detection-table storage.
+	TableBits int
+	// ChipPowerIncrease is the estimated chip active-power growth
+	// (paper: ~2.4% for four tables).
+	ChipPowerIncrease float64
+}
+
+// ComputeTableAlternative derives the table-based comparison for the
+// given thread count.
+func ComputeTableAlternative(threads int) TableAlternative {
+	const tableBytes = 64 << 10
+	const perTablePowerFrac = 0.006 // ~0.6% of chip power each
+	return TableAlternative{
+		TableBits:         threads * tableBytes * 8,
+		ChipPowerIncrease: float64(threads) * perTablePowerFrac,
+	}
+}
+
+// StorageRatio returns how many times larger the table-based approach's
+// storage is than ASD's.
+func StorageRatio(c Cost, t TableAlternative) float64 {
+	if c.TotalBits == 0 {
+		return 0
+	}
+	return float64(t.TableBits) / float64(c.TotalBits)
+}

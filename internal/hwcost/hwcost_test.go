@@ -1,0 +1,62 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 2000: 11, 2048: 11, 2049: 12}
+	for n, want := range cases {
+		if got := counterBits(n); got != want {
+			t.Errorf("counterBits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestComputeMatchesPaperHeadlines(t *testing.T) {
+	c := Compute(Default())
+	// Paper §5.1: chip area increase ~0.098%, chip power ~0.06%.
+	if math.Abs(c.ChipAreaIncrease-0.00098) > 0.0001 {
+		t.Errorf("chip area increase = %v, want ~0.00098", c.ChipAreaIncrease)
+	}
+	if math.Abs(c.ChipPowerIncrease-0.0006) > 0.0001 {
+		t.Errorf("chip power increase = %v, want ~0.0006", c.ChipPowerIncrease)
+	}
+}
+
+func TestStorageDominatedByPrefetchBuffer(t *testing.T) {
+	c := Compute(Default())
+	if c.TotalBits != c.FilterBits+c.LHTBits+c.PBBits+c.LPQBits {
+		t.Error("TotalBits inconsistent")
+	}
+	// The 2 KB Prefetch Buffer dwarfs the tracking structures — that is
+	// the paper's point about ASD's small tables.
+	if c.PBBits <= c.FilterBits+c.LHTBits {
+		t.Errorf("PB %d should dominate filter %d + LHT %d", c.PBBits, c.FilterBits, c.LHTBits)
+	}
+	// Per-thread LHT storage: 2 dirs x 2 tables x 16 entries x 11 bits.
+	if want := 4 * 2 * 2 * 16 * 11; c.LHTBits != want {
+		t.Errorf("LHTBits = %d, want %d", c.LHTBits, want)
+	}
+}
+
+func TestTableAlternative(t *testing.T) {
+	ta := ComputeTableAlternative(4)
+	if ta.TableBits != 4*64*1024*8 {
+		t.Errorf("TableBits = %d", ta.TableBits)
+	}
+	if math.Abs(ta.ChipPowerIncrease-0.024) > 1e-9 {
+		t.Errorf("power = %v, want 0.024 (paper: ~2.4%%)", ta.ChipPowerIncrease)
+	}
+	c := Compute(Default())
+	ratio := StorageRatio(c, ta)
+	// The table approach needs well over an order of magnitude more
+	// storage than ASD's entire addition (PB included).
+	if ratio < 10 {
+		t.Errorf("storage ratio = %v, want >> 1", ratio)
+	}
+	if StorageRatio(Cost{}, ta) != 0 {
+		t.Error("zero-cost ratio should be 0")
+	}
+}

@@ -1,0 +1,163 @@
+package mc
+
+import "asdsim/internal/dram"
+
+// arbiter is the Reorder-Queue-to-CAQ selection strategy. The in-order
+// and memoryless arbiters are stateless; the AHB arbiter keeps command
+// history and adapts to the observed read/write mix, following the
+// Adaptive History-Based scheduler of Hur and Lin (MICRO 2004) that the
+// paper's evaluation uses (§5.3).
+type arbiter interface {
+	// pick chooses the index within queue of the command to promote to
+	// the CAQ, or -1 when the queue is empty.
+	pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, writeQLen, writeQCap int) int
+	// issued notifies the arbiter of the command it selected.
+	issued(cmd *cmdState, d *dram.DRAM)
+}
+
+// newArbiter builds the arbiter for kind.
+func newArbiter(kind SchedulerKind) arbiter {
+	switch kind {
+	case SchedInOrder:
+		return inOrderArbiter{}
+	case SchedMemoryless:
+		return memorylessArbiter{}
+	case SchedAHB:
+		return newAHB()
+	default:
+		panic("mc: unknown scheduler kind")
+	}
+}
+
+// inOrderArbiter issues strictly by arrival order, even when the head's
+// bank is busy.
+type inOrderArbiter struct{}
+
+func (inOrderArbiter) pick(queue []*cmdState, _ *dram.DRAM, _ uint64, _, _ int) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	return oldestIndex(queue)
+}
+
+func (inOrderArbiter) issued(*cmdState, *dram.DRAM) {}
+
+// memorylessArbiter prefers the oldest command whose bank is ready,
+// falling back to the oldest overall; it keeps no history.
+type memorylessArbiter struct{}
+
+func (memorylessArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, _, _ int) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	best := -1
+	for i, c := range queue {
+		if !d.CanIssue(c.cmd.Line, dramNow) {
+			continue
+		}
+		if best == -1 || c.cmd.ID < queue[best].cmd.ID {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return oldestIndex(queue)
+}
+
+func (memorylessArbiter) issued(*cmdState, *dram.DRAM) {}
+
+// ahbHistoryLen is the command-history depth the AHB arbiter scores
+// against (the original design uses short histories of 2-3 commands).
+const ahbHistoryLen = 3
+
+// ahbArbiter approximates Adaptive History-Based scheduling: it scores
+// candidates on bank readiness and row-buffer hits (expected latency),
+// bank/rank spread against the recent history (command-pattern
+// optimization), and a read/write mix preference selected adaptively
+// from the observed workload mix (the "adaptive" part: the original
+// design switches between history-based arbiters optimized for 1R:1W
+// and 2R:1W mixes).
+type ahbArbiter struct {
+	history      [ahbHistoryLen]int // bank indices of recent commands (-1 = none)
+	histLen      int
+	lastWasWrite bool
+
+	reads  uint64
+	writes uint64
+}
+
+func newAHB() *ahbArbiter {
+	a := &ahbArbiter{}
+	for i := range a.history {
+		a.history[i] = -1
+	}
+	return a
+}
+
+func (a *ahbArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, writeQLen, writeQCap int) int {
+	if len(queue) == 0 {
+		return -1
+	}
+	// Adaptive mix selection: prefer the direction the workload is
+	// currently skewed toward, unless the write queue is about to
+	// back-pressure the chip, in which case writes must drain.
+	preferWrites := writeQLen*4 >= writeQCap*3
+	if !preferWrites && a.reads+a.writes > 16 {
+		preferWrites = a.writes > a.reads
+	}
+
+	best, bestScore := -1, -1
+	for i, c := range queue {
+		score := 0
+		if d.CanIssue(c.cmd.Line, dramNow) {
+			score += 16
+		}
+		if d.WouldRowHit(c.cmd.Line) {
+			score += 8
+		}
+		// Command-pattern optimization: avoid banks used by the recent
+		// history so consecutive commands overlap in different banks.
+		bank := d.BankOf(c.cmd.Line)
+		clash := false
+		for _, h := range a.history[:a.histLen] {
+			if h == bank {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			score += 4
+		}
+		// Grouping same-direction commands avoids bus turnarounds.
+		if c.isWrite == a.lastWasWrite {
+			score += 1
+		}
+		if c.isWrite == preferWrites {
+			score += 2
+		}
+		if score > bestScore || (score == bestScore && c.cmd.ID < queue[best].cmd.ID) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func (a *ahbArbiter) issued(cmd *cmdState, d *dram.DRAM) {
+	copy(a.history[1:], a.history[:ahbHistoryLen-1])
+	a.history[0] = d.BankOf(cmd.cmd.Line)
+	if a.histLen < ahbHistoryLen {
+		a.histLen++
+	}
+	a.lastWasWrite = cmd.isWrite
+	if cmd.isWrite {
+		a.writes++
+	} else {
+		a.reads++
+	}
+	// Exponential forgetting keeps the mix estimate current.
+	if a.reads+a.writes >= 4096 {
+		a.reads /= 2
+		a.writes /= 2
+	}
+}

@@ -1,0 +1,546 @@
+// Package mc models the Power5+ memory controller of the paper's Figs. 1
+// and 4: Read/Write Reorder Queues feeding a Centralized Arbiter Queue
+// (CAQ) through a scheduler, extended with the paper's memory-side
+// prefetcher — per-thread Stream Filter + Prefetch Generator, a Low
+// Priority Queue (LPQ), a Prefetch Buffer, and a Final Scheduler that
+// arbitrates prefetches against regular commands under Adaptive
+// Scheduling.
+package mc
+
+import (
+	"fmt"
+
+	"asdsim/internal/core"
+	"asdsim/internal/dram"
+	"asdsim/internal/mem"
+	"asdsim/internal/prefetch"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	// ReadQueueCap and WriteQueueCap size the Reorder Queues.
+	ReadQueueCap  int
+	WriteQueueCap int
+	// CAQCap is the Centralized Arbiter Queue depth (3 on the Power5+).
+	CAQCap int
+	// LPQCap is the Low Priority Queue depth; the paper gives it "the
+	// same number of entries — 3 — as the CAQ".
+	LPQCap int
+	// PBLines and PBAssoc size the Prefetch Buffer (16 lines, 2 KB).
+	PBLines int
+	PBAssoc int
+	// PBHitLatency is the CPU-cycle latency of a Read satisfied by the
+	// Prefetch Buffer (an on-chip MC round trip instead of DRAM).
+	PBHitLatency uint64
+	// Overhead is the fixed CPU-cycle cost added to every DRAM round
+	// trip (controller traversal, bus transfer back to the chip).
+	Overhead uint64
+	// Scheduler selects the Reorder-Queue scheduling algorithm.
+	Scheduler SchedulerKind
+}
+
+// DefaultConfig matches the paper's evaluated configuration.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:  8,
+		WriteQueueCap: 8,
+		CAQCap:        3,
+		LPQCap:        3,
+		PBLines:       16,
+		PBAssoc:       4,
+		PBHitLatency:  24,
+		Overhead:      150,
+		Scheduler:     SchedAHB,
+	}
+}
+
+// cmdState wraps a queued regular command.
+type cmdState struct {
+	cmd             mem.Command
+	isWrite         bool
+	done            uint64 // completion cycle once issued to DRAM
+	delayedCounted  bool
+	conflictCounted bool
+}
+
+// pfState is one memory-side prefetch in the LPQ or in flight.
+type pfState struct {
+	line    mem.Line
+	arrival uint64
+	doneAt  uint64
+	// waiters are demand Reads that arrived while this prefetch was in
+	// flight and were merged onto it.
+	waiters []mem.Command
+}
+
+// ReadDoneFunc delivers a completed demand Read back to the CPU model.
+type ReadDoneFunc func(cmd mem.Command, doneAtCPU uint64)
+
+// Stats holds the controller's observable counters (Fig. 13 feeds from
+// these).
+type Stats struct {
+	RegularReads     uint64 // demand Reads entering the MC
+	RegularWrites    uint64
+	PBHitsEntry      uint64 // Reads satisfied at the first PB check
+	PBHitsLate       uint64 // Reads satisfied at the CAQ-head (second) check
+	PFMergeHits      uint64 // Reads merged onto an in-flight prefetch
+	PrefetchesToLPQ  uint64
+	LPQDrops         uint64 // prefetch nominations dropped (full/duplicate)
+	PrefetchesToDRAM uint64
+	DelayedRegular   uint64 // regular commands delayed by a prefetch-held bank
+	DRAMReads        uint64
+	DRAMWrites       uint64
+	// ReadLatencySum accumulates (completion - arrival) over demand
+	// Reads served from DRAM, for mean-latency reporting.
+	ReadLatencySum uint64
+}
+
+// Controller is the memory controller model.
+type Controller struct {
+	cfg      Config
+	dram     *dram.DRAM
+	engines  []prefetch.MSEngine // per-thread; nil slice disables MS prefetching
+	adaptive *core.AdaptiveScheduler
+
+	inbox    []*cmdState
+	readQ    []*cmdState
+	writeQ   []*cmdState
+	caq      []*cmdState
+	lpq      []*pfState
+	inflight []*cmdState // demand reads issued to DRAM
+	pfFlight []*pfState
+
+	pb         *PBuffer
+	arb        arbiter
+	onReadDone ReadDoneFunc
+
+	stats Stats
+}
+
+// New returns a controller over d. engines supplies one memory-side
+// prefetch engine per hardware thread (nil or empty disables memory-side
+// prefetching). adaptive must be non-nil when engines are present.
+func New(cfg Config, d *dram.DRAM, engines []prefetch.MSEngine, adaptive *core.AdaptiveScheduler) *Controller {
+	if cfg.ReadQueueCap <= 0 || cfg.WriteQueueCap <= 0 || cfg.CAQCap <= 0 {
+		panic(fmt.Sprintf("mc: invalid queue capacities %+v", cfg))
+	}
+	if len(engines) > 0 {
+		if cfg.LPQCap <= 0 || cfg.PBLines <= 0 {
+			panic("mc: prefetching enabled but LPQ/PB not sized")
+		}
+		if adaptive == nil {
+			panic("mc: prefetching enabled without an adaptive scheduler")
+		}
+	}
+	c := &Controller{cfg: cfg, dram: d, engines: engines, adaptive: adaptive}
+	c.arb = newArbiter(cfg.Scheduler)
+	if len(engines) > 0 {
+		c.pb = NewPBuffer(cfg.PBLines, cfg.PBAssoc)
+	}
+	return c
+}
+
+// SetReadDone installs the completion callback for demand Reads.
+func (c *Controller) SetReadDone(fn ReadDoneFunc) { c.onReadDone = fn }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// PB exposes the prefetch buffer (nil when MS prefetching is off).
+func (c *Controller) PB() *PBuffer { return c.pb }
+
+// Adaptive exposes the adaptive scheduler (may be nil).
+func (c *Controller) Adaptive() *core.AdaptiveScheduler { return c.adaptive }
+
+// Enqueue presents a command to the controller; it takes effect at the
+// next Step. Commands are processed in Enqueue order.
+func (c *Controller) Enqueue(cmd mem.Command) {
+	c.inbox = append(c.inbox, &cmdState{cmd: cmd, isWrite: cmd.Kind == mem.Write})
+}
+
+// Busy reports whether the controller holds any work.
+func (c *Controller) Busy() bool {
+	return len(c.inbox)+len(c.readQ)+len(c.writeQ)+len(c.caq)+len(c.lpq)+len(c.inflight)+len(c.pfFlight) > 0
+}
+
+// NextWake returns the earliest CPU cycle at which stepping the
+// controller could make progress, given the current state; ^uint64(0)
+// when idle. Queued work always wants the next MC cycle.
+func (c *Controller) NextWake(cpuNow uint64) uint64 {
+	if len(c.inbox)+len(c.readQ)+len(c.writeQ)+len(c.caq)+len(c.lpq) > 0 {
+		return cpuNow + mem.CPUCyclesPerMCCycle
+	}
+	wake := ^uint64(0)
+	for _, f := range c.inflight {
+		if f.done < wake {
+			wake = f.done
+		}
+	}
+	for _, p := range c.pfFlight {
+		if p.doneAt < wake {
+			wake = p.doneAt
+		}
+	}
+	return wake
+}
+
+// FlushLPQ discards queued-but-unissued prefetches (counted as drops).
+// The run loop calls this when the processors have finished: with no
+// more demand traffic arriving, a conservative policy such as
+// caq-almost-empty (which waits for a full LPQ) could otherwise hold
+// stragglers forever.
+func (c *Controller) FlushLPQ() {
+	c.stats.LPQDrops += uint64(len(c.lpq))
+	c.lpq = c.lpq[:0]
+}
+
+// Step advances the controller by one MC cycle ending at CPU cycle
+// cpuNow. Callers step at mem.CPUCyclesPerMCCycle granularity.
+func (c *Controller) Step(cpuNow uint64) {
+	dramNow := cpuNow / mem.CPUCyclesPerDRAMCycle
+	c.dram.ObserveCycle(dramNow)
+	c.completePrefetches(cpuNow)
+	c.completeDemands(cpuNow)
+	c.drainInbox(cpuNow)
+	c.countConflicts(dramNow)
+	c.scheduleToCAQ(dramNow)
+	c.finalIssue(cpuNow, dramNow)
+	for _, e := range c.engines {
+		e.Tick(cpuNow)
+	}
+}
+
+// drainInbox admits commands into the Reorder Queues, performing the
+// first Prefetch Buffer check and prefetch-merge check for Reads and the
+// PB invalidation rule for Writes.
+func (c *Controller) drainInbox(cpuNow uint64) {
+	for len(c.inbox) > 0 {
+		s := c.inbox[0]
+		if s.isWrite {
+			if len(c.writeQ) >= c.cfg.WriteQueueCap {
+				return
+			}
+			c.stats.RegularWrites++
+			if c.pb != nil {
+				c.pb.InvalidateForWrite(s.cmd.Line)
+			}
+			c.dropPendingPrefetch(s.cmd.Line)
+			c.writeQ = append(c.writeQ, s)
+			c.inbox = c.inbox[1:]
+			continue
+		}
+
+		// Demand Read path. The Stream Filter sees every Read entering
+		// the controller (Fig. 4), including ones the PB will satisfy.
+		if len(c.readQ) >= c.cfg.ReadQueueCap {
+			return
+		}
+		c.inbox = c.inbox[1:]
+		c.stats.RegularReads++
+		if c.adaptive != nil {
+			c.adaptive.OnRead()
+		}
+		c.observeRead(s.cmd, cpuNow)
+
+		if c.pb != nil && c.pb.TakeForRead(s.cmd.Line) {
+			// First PB check: satisfied without DRAM; the Read is
+			// squashed.
+			c.stats.PBHitsEntry++
+			c.deliver(s.cmd, cpuNow+c.cfg.PBHitLatency)
+			continue
+		}
+		if pf := c.findInFlightPrefetch(s.cmd.Line); pf != nil {
+			// The line is already on its way from DRAM: merge.
+			c.stats.PFMergeHits++
+			pf.waiters = append(pf.waiters, s.cmd)
+			continue
+		}
+		// A matching prefetch still waiting in the LPQ is squashed: the
+		// demand Read will fetch the line itself, so issuing the
+		// prefetch too would only waste a DRAM access.
+		c.dropPendingPrefetch(s.cmd.Line)
+		c.readQ = append(c.readQ, s)
+	}
+}
+
+// observeRead feeds the thread's ASD engine and files its nominations
+// into the LPQ.
+func (c *Controller) observeRead(cmd mem.Command, cpuNow uint64) {
+	if len(c.engines) == 0 {
+		return
+	}
+	eng := c.engines[cmd.Thread%len(c.engines)]
+	for _, line := range eng.ObserveRead(cmd.Line, cpuNow) {
+		c.nominatePrefetch(line, cpuNow)
+	}
+}
+
+// nominatePrefetch files one prefetch candidate into the LPQ unless it is
+// redundant or the queue is full.
+func (c *Controller) nominatePrefetch(line mem.Line, cpuNow uint64) {
+	if c.pb.Contains(line) || c.findInFlightPrefetch(line) != nil || c.lpqContains(line) || c.demandPending(line) {
+		c.stats.LPQDrops++
+		return
+	}
+	if len(c.lpq) >= c.cfg.LPQCap {
+		c.stats.LPQDrops++
+		return
+	}
+	c.lpq = append(c.lpq, &pfState{line: line, arrival: cpuNow})
+	c.stats.PrefetchesToLPQ++
+}
+
+func (c *Controller) lpqContains(line mem.Line) bool {
+	for _, p := range c.lpq {
+		if p.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// demandPending reports whether a demand command for line is already
+// queued or in flight (prefetching it would waste bandwidth).
+func (c *Controller) demandPending(line mem.Line) bool {
+	for _, s := range c.readQ {
+		if s.cmd.Line == line {
+			return true
+		}
+	}
+	for _, s := range c.caq {
+		if s.cmd.Line == line {
+			return true
+		}
+	}
+	for _, s := range c.inflight {
+		if s.cmd.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) findInFlightPrefetch(line mem.Line) *pfState {
+	for _, p := range c.pfFlight {
+		if p.line == line {
+			return p
+		}
+	}
+	return nil
+}
+
+// dropPendingPrefetch removes an un-issued LPQ entry for line (a Write
+// makes prefetching it pointless and the data would be stale).
+func (c *Controller) dropPendingPrefetch(line mem.Line) {
+	for i, p := range c.lpq {
+		if p.line == line {
+			c.lpq = append(c.lpq[:i], c.lpq[i+1:]...)
+			c.stats.LPQDrops++
+			return
+		}
+	}
+}
+
+// countConflicts implements the Adaptive Scheduling feedback (§3.5): each
+// regular command in the Reorder Queues that cannot proceed because its
+// bank is held by a previously issued prefetch counts once.
+func (c *Controller) countConflicts(dramNow uint64) {
+	if c.adaptive == nil {
+		return
+	}
+	for _, q := range [][]*cmdState{c.readQ, c.writeQ} {
+		for _, s := range q {
+			if s.conflictCounted {
+				continue
+			}
+			if busy, byPF := c.dram.BankBusy(s.cmd.Line, dramNow); busy && byPF {
+				s.conflictCounted = true
+				c.adaptive.OnConflict()
+				if !s.delayedCounted {
+					s.delayedCounted = true
+					c.stats.DelayedRegular++
+				}
+			}
+		}
+	}
+}
+
+// scheduleToCAQ moves at most one command per MC cycle from the Reorder
+// Queues to the CAQ, per the configured scheduling algorithm.
+func (c *Controller) scheduleToCAQ(dramNow uint64) {
+	if len(c.caq) >= c.cfg.CAQCap {
+		return
+	}
+	merged := make([]*cmdState, 0, len(c.readQ)+len(c.writeQ))
+	merged = append(merged, c.readQ...)
+	merged = append(merged, c.writeQ...)
+	idx := c.arb.pick(merged, c.dram, dramNow, len(c.writeQ), c.cfg.WriteQueueCap)
+	if idx < 0 {
+		return
+	}
+	chosen := merged[idx]
+	c.arb.issued(chosen, c.dram)
+	if chosen.isWrite {
+		c.writeQ = removeCmd(c.writeQ, chosen)
+	} else {
+		c.readQ = removeCmd(c.readQ, chosen)
+	}
+	c.caq = append(c.caq, chosen)
+}
+
+func removeCmd(q []*cmdState, s *cmdState) []*cmdState {
+	for i, x := range q {
+		if x == s {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// finalIssue is the Final Scheduler: it transmits the CAQ head to DRAM
+// (performing the second Prefetch Buffer check first) and, when the
+// active Adaptive Scheduling policy permits, issues the LPQ head instead.
+func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
+	issued := false
+	if len(c.caq) > 0 {
+		head := c.caq[0]
+		if !head.isWrite && c.pb != nil && c.pb.TakeForRead(head.cmd.Line) {
+			// Second PB check: the data arrived while the command sat
+			// in the CAQ.
+			c.stats.PBHitsLate++
+			c.deliver(head.cmd, cpuNow+c.cfg.PBHitLatency)
+			c.caq = c.caq[1:]
+			issued = true // the CAQ slot consumed this cycle's transmit
+		} else if c.dram.CanIssue(head.cmd.Line, dramNow) {
+			doneDRAM := c.dram.Issue(head.cmd.Line, head.isWrite, false, dramNow)
+			doneCPU := doneDRAM*mem.CPUCyclesPerDRAMCycle + c.cfg.Overhead
+			c.caq = c.caq[1:]
+			if head.isWrite {
+				c.stats.DRAMWrites++
+			} else {
+				c.stats.DRAMReads++
+				head.done = doneCPU
+				c.stats.ReadLatencySum += doneCPU - head.cmd.Arrival
+				c.inflight = append(c.inflight, head)
+			}
+			issued = true
+		} else if busy, byPF := c.dram.BankBusy(head.cmd.Line, dramNow); busy && byPF && !head.delayedCounted {
+			head.delayedCounted = true
+			c.stats.DelayedRegular++
+		}
+	}
+	if issued || len(c.lpq) == 0 || c.adaptive == nil {
+		return
+	}
+	st := c.queueState(dramNow)
+	if !c.adaptive.Policy().Allows(st) {
+		return
+	}
+	head := c.lpq[0]
+	if !c.dram.CanIssue(head.line, dramNow) {
+		return
+	}
+	doneDRAM := c.dram.Issue(head.line, false, true, dramNow)
+	head.doneAt = doneDRAM*mem.CPUCyclesPerDRAMCycle + c.cfg.Overhead
+	c.lpq = c.lpq[1:]
+	c.pfFlight = append(c.pfFlight, head)
+	c.stats.PrefetchesToDRAM++
+}
+
+// queueState snapshots the queues for a policy decision.
+func (c *Controller) queueState(dramNow uint64) core.QueueState {
+	st := core.QueueState{
+		CAQLen:     len(c.caq),
+		ReorderLen: len(c.readQ) + len(c.writeQ),
+		LPQLen:     len(c.lpq),
+		LPQCap:     c.cfg.LPQCap,
+	}
+	for _, s := range append(append([]*cmdState{}, c.readQ...), c.writeQ...) {
+		if c.dram.CanIssue(s.cmd.Line, dramNow) {
+			st.ReorderHasIssuable = true
+			break
+		}
+	}
+	if len(c.lpq) > 0 {
+		st.LPQHeadArrival = c.lpq[0].arrival
+	}
+	if len(c.caq) > 0 {
+		st.CAQHeadArrival = c.caq[0].cmd.Arrival
+	}
+	return st
+}
+
+// completePrefetches lands finished prefetches: merged waiters are
+// delivered directly (the data moves on-chip, so it does not linger in
+// the PB); otherwise the line is installed in the Prefetch Buffer.
+func (c *Controller) completePrefetches(cpuNow uint64) {
+	for i := 0; i < len(c.pfFlight); {
+		p := c.pfFlight[i]
+		if p.doneAt > cpuNow {
+			i++
+			continue
+		}
+		if len(p.waiters) > 0 {
+			for _, w := range p.waiters {
+				c.deliver(w, p.doneAt)
+			}
+			c.pb.Useful++
+		} else {
+			c.pb.Insert(p.line)
+		}
+		c.pfFlight = append(c.pfFlight[:i], c.pfFlight[i+1:]...)
+	}
+}
+
+// completeDemands delivers finished demand Reads.
+func (c *Controller) completeDemands(cpuNow uint64) {
+	for i := 0; i < len(c.inflight); {
+		s := c.inflight[i]
+		if s.done > cpuNow {
+			i++
+			continue
+		}
+		c.deliver(s.cmd, s.done)
+		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+	}
+}
+
+func (c *Controller) deliver(cmd mem.Command, done uint64) {
+	if c.onReadDone != nil {
+		c.onReadDone(cmd, done)
+	}
+}
+
+// Coverage returns the fraction of demand Reads satisfied by the
+// memory-side prefetcher (PB hits at either check plus merges), the
+// paper's Fig. 13 "coverage" metric.
+func (c *Controller) Coverage() float64 {
+	if c.stats.RegularReads == 0 {
+		return 0
+	}
+	covered := c.stats.PBHitsEntry + c.stats.PBHitsLate + c.stats.PFMergeHits
+	return float64(covered) / float64(c.stats.RegularReads)
+}
+
+// UsefulPrefetchFrac returns useful/(useful+wasted) over completed
+// prefetches — Fig. 13's "useful prefetches".
+func (c *Controller) UsefulPrefetchFrac() float64 {
+	if c.pb == nil {
+		return 0
+	}
+	denom := c.pb.Useful + c.pb.Wasted
+	if denom == 0 {
+		return 0
+	}
+	return float64(c.pb.Useful) / float64(denom)
+}
+
+// DelayedRegularFrac returns the fraction of regular commands delayed by
+// memory-side prefetches — Fig. 13's third metric.
+func (c *Controller) DelayedRegularFrac() float64 {
+	total := c.stats.RegularReads + c.stats.RegularWrites
+	if total == 0 {
+		return 0
+	}
+	return float64(c.stats.DelayedRegular) / float64(total)
+}

@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"fmt"
+
+	"asdsim/internal/mem"
+)
+
+// pbEntry is one Prefetch Buffer line.
+type pbEntry struct {
+	valid bool
+	line  mem.Line
+	used  uint64 // LRU stamp
+}
+
+// PBuffer is the Prefetch Buffer of §3.3: a small set-associative,
+// LRU-replaced store for memory-side-prefetched lines. Entries are
+// invalidated on write requests to their address, and on a Read hit (the
+// data moves into the processor caches, so keeping it is pointless).
+type PBuffer struct {
+	sets  int
+	assoc int
+	ways  []pbEntry
+	tick  uint64
+
+	// Inserts counts lines installed; Useful counts Read hits; Wasted
+	// counts lines invalidated or evicted without ever being read.
+	// WastedEvict and WastedWrite break Wasted down by cause (LRU
+	// eviction vs write invalidation).
+	Inserts     uint64
+	Useful      uint64
+	Wasted      uint64
+	WastedEvict uint64
+	WastedWrite uint64
+}
+
+// NewPBuffer builds a buffer of `lines` capacity with the given
+// associativity.
+func NewPBuffer(lines, assoc int) *PBuffer {
+	if lines <= 0 || assoc <= 0 || lines%assoc != 0 {
+		panic(fmt.Sprintf("mc: bad prefetch buffer geometry %d/%d", lines, assoc))
+	}
+	return &PBuffer{sets: lines / assoc, assoc: assoc, ways: make([]pbEntry, lines)}
+}
+
+// Capacity returns the number of lines the buffer holds.
+func (b *PBuffer) Capacity() int { return len(b.ways) }
+
+func (b *PBuffer) setOf(l mem.Line) int { return int(uint64(l) % uint64(b.sets)) }
+
+func (b *PBuffer) find(l mem.Line) int {
+	base := b.setOf(l) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		if b.ways[base+w].valid && b.ways[base+w].line == l {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Contains reports presence without state change.
+func (b *PBuffer) Contains(l mem.Line) bool { return b.find(l) >= 0 }
+
+// TakeForRead removes line on a Read hit, counting it useful. It returns
+// whether the line was present.
+func (b *PBuffer) TakeForRead(l mem.Line) bool {
+	i := b.find(l)
+	if i < 0 {
+		return false
+	}
+	b.ways[i].valid = false
+	b.Useful++
+	return true
+}
+
+// InvalidateForWrite drops line on a Write to its address; an unused
+// entry counts as wasted.
+func (b *PBuffer) InvalidateForWrite(l mem.Line) {
+	if i := b.find(l); i >= 0 {
+		b.ways[i].valid = false
+		b.Wasted++
+		b.WastedWrite++
+	}
+}
+
+// Insert installs a prefetched line, evicting the set's LRU entry if
+// needed (an unused eviction counts as wasted).
+func (b *PBuffer) Insert(l mem.Line) {
+	b.tick++
+	if i := b.find(l); i >= 0 {
+		b.ways[i].used = b.tick
+		return
+	}
+	base := b.setOf(l) * b.assoc
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if !b.ways[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if b.ways[i].used < oldest {
+			oldest = b.ways[i].used
+			victim = i
+		}
+	}
+	if b.ways[victim].valid {
+		b.Wasted++
+		b.WastedEvict++
+	}
+	b.ways[victim] = pbEntry{valid: true, line: l, used: b.tick}
+	b.Inserts++
+}
+
+// Live returns the number of valid entries.
+func (b *PBuffer) Live() int {
+	n := 0
+	for i := range b.ways {
+		if b.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package mc
+
+import (
+	"testing"
+
+	"asdsim/internal/mem"
+)
+
+func TestNewPBufferPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero":   func() { NewPBuffer(0, 1) },
+		"assoc":  func() { NewPBuffer(16, 0) },
+		"ragged": func() { NewPBuffer(10, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPBufferInsertTake(t *testing.T) {
+	b := NewPBuffer(16, 4)
+	b.Insert(5)
+	if !b.Contains(5) {
+		t.Fatal("inserted line absent")
+	}
+	if !b.TakeForRead(5) {
+		t.Fatal("TakeForRead missed")
+	}
+	if b.Contains(5) {
+		t.Error("read hit must invalidate the entry")
+	}
+	if b.Useful != 1 || b.Wasted != 0 || b.Inserts != 1 {
+		t.Errorf("counters: useful=%d wasted=%d inserts=%d", b.Useful, b.Wasted, b.Inserts)
+	}
+	if b.TakeForRead(5) {
+		t.Error("second take should miss")
+	}
+}
+
+func TestPBufferWriteInvalidation(t *testing.T) {
+	b := NewPBuffer(16, 4)
+	b.Insert(7)
+	b.InvalidateForWrite(7)
+	if b.Contains(7) {
+		t.Error("write must invalidate")
+	}
+	if b.Wasted != 1 {
+		t.Errorf("Wasted = %d, want 1", b.Wasted)
+	}
+	b.InvalidateForWrite(99) // absent: no-op
+	if b.Wasted != 1 {
+		t.Errorf("absent invalidate counted: %d", b.Wasted)
+	}
+}
+
+func TestPBufferLRUEviction(t *testing.T) {
+	b := NewPBuffer(4, 4) // one set
+	for l := 0; l < 4; l++ {
+		b.Insert(mustLine(l))
+	}
+	b.Insert(100) // evicts line 0 (LRU)
+	if b.Contains(0) {
+		t.Error("LRU line should have been evicted")
+	}
+	if b.Wasted != 1 {
+		t.Errorf("unused eviction not counted: %d", b.Wasted)
+	}
+	if b.Live() != 4 {
+		t.Errorf("Live = %d", b.Live())
+	}
+}
+
+func TestPBufferReinsertRefreshes(t *testing.T) {
+	b := NewPBuffer(4, 4)
+	for l := 0; l < 4; l++ {
+		b.Insert(mustLine(l))
+	}
+	b.Insert(0)   // refresh 0 to MRU
+	b.Insert(100) // evicts 1 now
+	if !b.Contains(0) || b.Contains(1) {
+		t.Error("refresh did not move line 0 to MRU")
+	}
+	if b.Inserts != 5 {
+		t.Errorf("Inserts = %d (refresh should not count)", b.Inserts)
+	}
+}
+
+func TestPBufferCapacity(t *testing.T) {
+	b := NewPBuffer(16, 4)
+	if b.Capacity() != 16 {
+		t.Errorf("Capacity = %d", b.Capacity())
+	}
+}
+
+func mustLine(i int) mem.Line { return mem.Line(i) }

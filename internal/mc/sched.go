@@ -1,0 +1,48 @@
+package mc
+
+import "fmt"
+
+// SchedulerKind selects the Reorder-Queue-to-CAQ scheduling algorithm
+// (the "Scheduler" box of the paper's Figs. 1 and 4). The paper's results
+// use the Adaptive History-Based (AHB) scheduler and §5.3 studies the
+// simpler in-order and memoryless schedulers.
+type SchedulerKind int
+
+// The three schedulers of §5.3.
+const (
+	// SchedInOrder issues commands in strict arrival order, even when
+	// the head's bank is busy.
+	SchedInOrder SchedulerKind = iota
+	// SchedMemoryless picks the oldest command whose bank is ready,
+	// falling back to the oldest overall.
+	SchedMemoryless
+	// SchedAHB approximates the Adaptive History-Based scheduler of Hur
+	// and Lin (MICRO 2004): it weighs bank readiness, open-row hits and
+	// the read/write mix before age.
+	SchedAHB
+)
+
+// String implements fmt.Stringer.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedInOrder:
+		return "in-order"
+	case SchedMemoryless:
+		return "memoryless"
+	case SchedAHB:
+		return "ahb"
+	default:
+		return fmt.Sprintf("sched(%d)", int(k))
+	}
+}
+
+// oldestIndex returns the index of the command with the smallest ID.
+func oldestIndex(queue []*cmdState) int {
+	best := 0
+	for i := 1; i < len(queue); i++ {
+		if queue[i].cmd.ID < queue[best].cmd.ID {
+			best = i
+		}
+	}
+	return best
+}

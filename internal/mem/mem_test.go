@@ -1,0 +1,75 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Line
+	}{
+		{0, 0},
+		{1, 0},
+		{127, 0},
+		{128, 1},
+		{129, 1},
+		{255, 1},
+		{256, 2},
+		{0xFFFF_FFFF_FFFF_FFFF, 0x01FF_FFFF_FFFF_FFFF},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		l := LineOf(a)
+		base := l.Addr()
+		// The base address must be line-aligned and contain a.
+		return base%LineSize == 0 && base <= a && (a-base) < LineSize
+	}
+	// Constrain to 57-bit addresses so the shift does not overflow.
+	g := func(raw uint64) bool { return f(Addr(raw & ((1 << 57) - 1))) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineNext(t *testing.T) {
+	l := Line(100)
+	if l.Next(+1) != 101 {
+		t.Errorf("Next(+1) = %d, want 101", l.Next(+1))
+	}
+	if l.Next(-1) != 99 {
+		t.Errorf("Next(-1) = %d, want 99", l.Next(-1))
+	}
+	if l.Next(5) != 105 {
+		t.Errorf("Next(5) = %d, want 105", l.Next(5))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "Read" || Write.String() != "Write" || Prefetch.String() != "Prefetch" {
+		t.Errorf("Kind strings wrong: %v %v %v", Read, Write, Prefetch)
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind = %q", Kind(42).String())
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "Up" || Down.String() != "Down" {
+		t.Errorf("Direction strings wrong: %v %v", Up, Down)
+	}
+}
+
+func TestLineSizeConsistency(t *testing.T) {
+	if 1<<LineShift != LineSize {
+		t.Fatalf("LineShift %d inconsistent with LineSize %d", LineShift, LineSize)
+	}
+}

@@ -1,0 +1,100 @@
+package prefetch
+
+import (
+	"testing"
+
+	"asdsim/internal/mem"
+)
+
+func TestNewGHBPanics(t *testing.T) {
+	for i, cfg := range []GHBConfig{{Entries: 0, Degree: 1}, {Entries: 4, Degree: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewGHB(cfg)
+		}()
+	}
+}
+
+func TestGHBLearnsSuccessor(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	// First pass: A -> B -> C, nothing known yet.
+	for _, l := range []mem.Line{100, 205, 317} {
+		if got := g.ObserveRead(l, 0); got != nil {
+			t.Fatalf("cold observation prefetched %v", got)
+		}
+	}
+	// Second pass: each read should prefetch its recorded successor.
+	if got := g.ObserveRead(100, 0); len(got) != 1 || got[0] != 205 {
+		t.Errorf("successor of 100 = %v, want [205]", got)
+	}
+	if got := g.ObserveRead(205, 0); len(got) != 1 || got[0] != 317 {
+		t.Errorf("successor of 205 = %v, want [317]", got)
+	}
+	if g.Issued != 2 {
+		t.Errorf("Issued = %d", g.Issued)
+	}
+}
+
+func TestGHBDegree(t *testing.T) {
+	g := NewGHB(GHBConfig{Entries: 64, Degree: 3})
+	for _, l := range []mem.Line{1, 2, 3, 4, 5} {
+		g.ObserveRead(l, 0)
+	}
+	got := g.ObserveRead(1, 0)
+	want := []mem.Line{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("degree-3 chase = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chase[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGHBForgetsBeyondWindow(t *testing.T) {
+	g := NewGHB(GHBConfig{Entries: 4, Degree: 1})
+	g.ObserveRead(100, 0)
+	g.ObserveRead(200, 0)
+	// Push the pair out of the 4-entry window.
+	for i := 0; i < 8; i++ {
+		g.ObserveRead(mem.Line(1000+i), 0)
+	}
+	if got := g.ObserveRead(100, 0); got != nil {
+		t.Errorf("stale correlation survived: %v", got)
+	}
+}
+
+func TestGHBUpdatesToLatestSuccessor(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	g.ObserveRead(10, 0)
+	g.ObserveRead(20, 0) // 10 -> 20
+	g.ObserveRead(10, 0) // prefetches 20, records new occurrence
+	g.ObserveRead(99, 0) // 10 -> 99 now
+	if got := g.ObserveRead(10, 0); len(got) != 1 || got[0] != 99 {
+		t.Errorf("latest successor = %v, want [99]", got)
+	}
+}
+
+func TestGHBIndexGCBoundsMemory(t *testing.T) {
+	g := NewGHB(GHBConfig{Entries: 16, Degree: 1})
+	for i := 0; i < 10_000; i++ {
+		g.ObserveRead(mem.Line(i), 0)
+	}
+	if len(g.index) > 64 {
+		t.Errorf("index grew unboundedly: %d entries", len(g.index))
+	}
+}
+
+func TestGHBSelfSuccessorSuppressed(t *testing.T) {
+	g := NewGHB(DefaultGHBConfig())
+	g.ObserveRead(5, 0)
+	g.ObserveRead(5, 0)
+	if got := g.ObserveRead(5, 0); got != nil {
+		t.Errorf("self-successor prefetched: %v", got)
+	}
+}

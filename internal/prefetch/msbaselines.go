@@ -1,0 +1,129 @@
+package prefetch
+
+import "asdsim/internal/mem"
+
+// MSEngine is the interface a memory-side prefetch engine presents to the
+// memory controller: it observes the MC-level demand-Read stream and
+// nominates lines for the Low Priority Queue. core.Engine (Adaptive
+// Stream Detection) satisfies this, as do the two Fig. 11 baselines
+// below.
+type MSEngine interface {
+	// ObserveRead sees one demand Read at CPU cycle now and returns
+	// lines to prefetch.
+	ObserveRead(line mem.Line, now uint64) []mem.Line
+	// Tick lets the engine expire internal state on quiet channels.
+	Tick(now uint64)
+}
+
+// NextLine is the "no ASD + next-line prefetcher" baseline of Fig. 11: it
+// prefetches line+1 after every demand Read, unconditionally.
+type NextLine struct {
+	// Issued counts emitted prefetches.
+	Issued uint64
+}
+
+// NewNextLine returns the next-line baseline engine.
+func NewNextLine() *NextLine { return &NextLine{} }
+
+// ObserveRead implements MSEngine.
+func (n *NextLine) ObserveRead(line mem.Line, _ uint64) []mem.Line {
+	n.Issued++
+	return []mem.Line{line.Next(+1)}
+}
+
+// Tick implements MSEngine.
+func (n *NextLine) Tick(uint64) {}
+
+// P5StyleConfig parameterises the Power5-style in-MC baseline.
+type P5StyleConfig struct {
+	// Slots is the number of streams tracked.
+	Slots int
+	// Lifetime is the per-slot lifetime in CPU cycles.
+	Lifetime uint64
+}
+
+// DefaultP5StyleConfig mirrors the ASD Stream Filter footprint so the
+// Fig. 11 comparison isolates the decision policy, not table size.
+func DefaultP5StyleConfig() P5StyleConfig { return P5StyleConfig{Slots: 8, Lifetime: 4096} }
+
+type p5Slot struct {
+	valid     bool
+	last      mem.Line
+	length    int
+	dir       int
+	expiresAt uint64
+}
+
+// P5Style is the "no ASD + P5-style prefetcher" baseline of Fig. 11: a
+// classic n=2 stream prefetcher in the memory controller. It waits for
+// two consecutive Reads and then prefetches the next line on every
+// subsequent stream advance; its stopping criterion is the stream dying —
+// i.e. one useless prefetch per stream, exactly the cost the paper's
+// introduction analyses.
+type P5Style struct {
+	cfg   P5StyleConfig
+	slots []p5Slot
+
+	// Issued counts emitted prefetches.
+	Issued uint64
+}
+
+// NewP5Style returns the Power5-style in-MC baseline.
+func NewP5Style(cfg P5StyleConfig) *P5Style {
+	if cfg.Slots <= 0 || cfg.Lifetime == 0 {
+		panic("prefetch: invalid P5Style config")
+	}
+	return &P5Style{cfg: cfg, slots: make([]p5Slot, cfg.Slots)}
+}
+
+// ObserveRead implements MSEngine.
+func (p *P5Style) ObserveRead(line mem.Line, now uint64) []mem.Line {
+	p.Tick(now)
+	for i := range p.slots {
+		s := &p.slots[i]
+		if !s.valid {
+			continue
+		}
+		var dir int
+		switch line {
+		case s.last:
+			s.expiresAt = now + p.cfg.Lifetime
+			return nil
+		case s.last.Next(+1):
+			dir = +1
+		case s.last.Next(-1):
+			dir = -1
+		default:
+			continue
+		}
+		if s.length >= 2 && dir != s.dir {
+			continue
+		}
+		s.dir = dir
+		s.length++
+		s.last = line
+		s.expiresAt = now + p.cfg.Lifetime
+		// n=2 policy: from the second consecutive Read onward, always
+		// pull the next line.
+		p.Issued++
+		return []mem.Line{line.Next(dir)}
+	}
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.valid {
+			continue
+		}
+		*s = p5Slot{valid: true, last: line, length: 1, expiresAt: now + p.cfg.Lifetime}
+		return nil
+	}
+	return nil
+}
+
+// Tick implements MSEngine.
+func (p *P5Style) Tick(now uint64) {
+	for i := range p.slots {
+		if p.slots[i].valid && p.slots[i].expiresAt <= now {
+			p.slots[i].valid = false
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package prefetch implements the baseline prefetchers the paper
+// evaluates against: the Power5+'s processor-side sequential stream
+// prefetcher (§4.2), and the two memory-controller-resident baselines of
+// Fig. 11 — a next-line prefetcher and a Power5-style stream prefetcher.
+package prefetch
+
+import "asdsim/internal/mem"
+
+// PSConfig parameterises the processor-side prefetcher.
+type PSConfig struct {
+	// DetectEntries is the size of the stream detection unit (12 on the
+	// Power5+).
+	DetectEntries int
+	// MaxStreams is how many confirmed streams prefetch concurrently (8).
+	MaxStreams int
+	// L2Ahead is how far ahead of the demand stream the L2-destined
+	// prefetch runs; the L1-destined prefetch runs one line ahead.
+	L2Ahead int
+	// Lifetime is the detection-entry lifetime in CPU cycles.
+	Lifetime uint64
+}
+
+// DefaultPSConfig matches the paper's description of the Power5+ unit:
+// 12 detection entries, 8 concurrent streams; it "waits to issue
+// prefetches until it detects two consecutive cache misses" and in steady
+// state keeps one extra line in L1 and one further line in L2.
+func DefaultPSConfig() PSConfig {
+	return PSConfig{DetectEntries: 12, MaxStreams: 8, L2Ahead: 5, Lifetime: 8192}
+}
+
+// Request is one prefetch the PS unit wants performed.
+type Request struct {
+	Line mem.Line
+	// IntoL1 selects the fill depth: true brings the line into L1 (and
+	// L2); false stages it in L2 only.
+	IntoL1 bool
+}
+
+// psEntry is one stream-detection slot.
+type psEntry struct {
+	valid     bool
+	last      mem.Line
+	dir       int
+	confirmed bool
+	depth     int // current L2-bound prefetch distance (ramps to L2Ahead)
+	expiresAt uint64
+}
+
+// PS is the Power5+-style processor-side stream prefetcher. It observes
+// L1 demand misses and emits prefetch requests that the CPU model turns
+// into cache fills or memory reads (which reach the memory controller
+// indistinguishable from demand reads, as the paper notes).
+type PS struct {
+	cfg     PSConfig
+	entries []psEntry
+
+	// Issued counts prefetch requests emitted.
+	Issued uint64
+	// Confirmations counts streams that reached confirmed state.
+	Confirmations uint64
+}
+
+// NewPS returns a processor-side prefetcher.
+func NewPS(cfg PSConfig) *PS {
+	if cfg.DetectEntries <= 0 || cfg.MaxStreams <= 0 || cfg.L2Ahead < 1 || cfg.Lifetime == 0 {
+		panic("prefetch: invalid PS config")
+	}
+	return &PS{cfg: cfg, entries: make([]psEntry, cfg.DetectEntries)}
+}
+
+// ObserveMiss presents an L1 demand-miss line at CPU cycle now and
+// returns the prefetches to perform.
+func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
+	// Expire stale entries.
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].expiresAt <= now {
+			p.entries[i].valid = false
+		}
+	}
+	// Match against an existing entry (the expected next line in either
+	// the entry's direction, or confirm direction on second miss).
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			continue
+		}
+		var dir int
+		switch line {
+		case e.last:
+			// Re-miss of the tracked line (MSHR merge window):
+			// refresh, do not allocate a duplicate entry.
+			e.expiresAt = now + p.cfg.Lifetime
+			return nil
+		case e.last.Next(+1):
+			dir = +1
+		case e.last.Next(-1):
+			dir = -1
+		default:
+			continue
+		}
+		if !e.confirmed {
+			// Second consecutive miss: confirm if a stream slot is
+			// free (MaxStreams bounds confirmed entries).
+			if p.confirmedCount() >= p.cfg.MaxStreams {
+				return nil
+			}
+			e.confirmed = true
+			e.dir = dir
+			e.depth = 1
+			p.Confirmations++
+			e.last = line
+			e.expiresAt = now + p.cfg.Lifetime
+			// Confirmation: pull only the next line. The L2-bound
+			// distance ramps on subsequent advances, so a stream that
+			// dies young has wasted at most one prefetch — the cost
+			// the paper's introduction attributes to an n=2 policy.
+			p.Issued++
+			return []Request{{Line: line.Next(e.dir), IntoL1: true}}
+		}
+		if dir != e.dir {
+			continue
+		}
+		e.last = line
+		e.expiresAt = now + p.cfg.Lifetime
+		if e.depth < p.cfg.L2Ahead {
+			e.depth++
+		}
+		// Steady state: one line ahead into L1, depth lines ahead into
+		// L2 (depth reaches L2Ahead after the ramp).
+		reqs := []Request{
+			{Line: line.Next(e.dir), IntoL1: true},
+			{Line: line.Next(e.dir * e.depth), IntoL1: false},
+		}
+		p.Issued += 2
+		return reqs
+	}
+	// New potential stream: allocate (evict the oldest unconfirmed, or
+	// the oldest entry if all are confirmed).
+	idx := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			idx = i
+			break
+		}
+		if e.expiresAt < oldest && (!e.confirmed || idx == -1) {
+			oldest = e.expiresAt
+			idx = i
+		}
+	}
+	p.entries[idx] = psEntry{valid: true, last: line, expiresAt: now + p.cfg.Lifetime}
+	return nil
+}
+
+func (p *PS) confirmedCount() int {
+	n := 0
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].confirmed {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveStreams returns the number of confirmed streams (reporting).
+func (p *PS) ActiveStreams() int { return p.confirmedCount() }

@@ -1,0 +1,151 @@
+// Package sim wires the full system model together — synthetic workload
+// generators, the cache hierarchy, the processor-side prefetcher, the
+// memory controller with its memory-side ASD prefetcher, and DRAM — and
+// runs the four configurations the paper compares: NP, PS, MS, and PMS
+// (§5.2).
+package sim
+
+import (
+	"fmt"
+
+	"asdsim/internal/cache"
+	"asdsim/internal/core"
+	"asdsim/internal/dram"
+	"asdsim/internal/mc"
+	"asdsim/internal/prefetch"
+)
+
+// Mode selects the prefetching configuration.
+type Mode int
+
+// The paper's four configurations.
+const (
+	// NP: no prefetching anywhere (the stripped-down baseline).
+	NP Mode = iota
+	// PS: processor-side prefetching only (the stock Power5+).
+	PS
+	// MS: memory-side prefetching only.
+	MS
+	// PMS: processor- and memory-side prefetching together.
+	PMS
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case NP:
+		return "NP"
+	case PS:
+		return "PS"
+	case MS:
+		return "MS"
+	case PMS:
+		return "PMS"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// EngineKind selects the memory-side engine (Fig. 11 compares ASD against
+// two baselines, all living in the memory controller).
+type EngineKind int
+
+// Memory-side engine kinds.
+const (
+	// EngineASD is Adaptive Stream Detection (the paper's contribution).
+	EngineASD EngineKind = iota
+	// EngineNextLine prefetches line+1 after every Read.
+	EngineNextLine
+	// EngineP5Style is a classic n=2 stream prefetcher in the MC.
+	EngineP5Style
+	// EngineGHB is an address-correlating Global History Buffer
+	// prefetcher (extension; the paper's related work [18]).
+	EngineGHB
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineASD:
+		return "asd"
+	case EngineNextLine:
+		return "next-line"
+	case EngineP5Style:
+		return "p5-style"
+	case EngineGHB:
+		return "ghb"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Config is a full system configuration.
+type Config struct {
+	// Mode is the prefetching configuration.
+	Mode Mode
+	// Engine selects the memory-side engine when Mode enables one.
+	Engine EngineKind
+	// Threads is the SMT width (1 or 2).
+	Threads int
+	// InstrBudget is the per-thread instruction budget.
+	InstrBudget uint64
+	// Seed drives all workload randomness.
+	Seed uint64
+
+	Cache cache.Config
+	DRAM  dram.Config
+	MC    mc.Config
+	ASD   core.Config
+	Sched core.SchedulerConfig
+	PS    prefetch.PSConfig
+	// Window and MaxOutstanding configure the CPU timing model.
+	Window         uint64
+	MaxOutstanding int
+	// HitOverlap divides charged cache-hit latencies, modelling the
+	// out-of-order core's ability to overlap L2/L3 hits with execution.
+	HitOverlap uint64
+}
+
+// Default returns the paper's evaluated system in the given mode with a
+// per-thread instruction budget.
+func Default(mode Mode, budget uint64) Config {
+	return Config{
+		Mode:           mode,
+		Engine:         EngineASD,
+		Threads:        1,
+		InstrBudget:    budget,
+		Seed:           1,
+		Cache:          cache.DefaultConfig(),
+		DRAM:           dram.DefaultConfig(),
+		MC:             mc.DefaultConfig(),
+		ASD:            core.DefaultConfig(),
+		Sched:          core.DefaultSchedulerConfig(),
+		PS:             prefetch.DefaultPSConfig(),
+		Window:         64,
+		MaxOutstanding: 8,
+		HitOverlap:     3,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Mode < NP || c.Mode > PMS:
+		return fmt.Errorf("sim: invalid mode %d", int(c.Mode))
+	case c.Threads < 1 || c.Threads > 2:
+		return fmt.Errorf("sim: Threads must be 1 or 2, got %d", c.Threads)
+	case c.InstrBudget == 0:
+		return fmt.Errorf("sim: zero instruction budget")
+	case c.Window == 0 || c.MaxOutstanding <= 0:
+		return fmt.Errorf("sim: invalid CPU window/outstanding")
+	case c.HitOverlap == 0:
+		return fmt.Errorf("sim: HitOverlap must be positive")
+	}
+	return nil
+}
+
+// msEnabled reports whether the mode includes memory-side prefetching.
+func (c *Config) msEnabled() bool { return c.Mode == MS || c.Mode == PMS }
+
+// psEnabled reports whether the mode includes processor-side prefetching.
+func (c *Config) psEnabled() bool { return c.Mode == PS || c.Mode == PMS }

@@ -1,0 +1,489 @@
+package sim
+
+import (
+	"fmt"
+
+	"asdsim/internal/cache"
+	"asdsim/internal/core"
+	"asdsim/internal/cpu"
+	"asdsim/internal/dram"
+	"asdsim/internal/mc"
+	"asdsim/internal/mem"
+	"asdsim/internal/prefetch"
+	"asdsim/internal/stats"
+	"asdsim/internal/trace"
+	"asdsim/internal/workload"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Benchmark string
+	Mode      Mode
+	// Cycles is the execution time in CPU cycles (max over threads,
+	// after draining outstanding memory traffic).
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	MC   mc.Stats
+	DRAM dram.Stats
+
+	// StallCycles is the total CPU cycles threads spent blocked on
+	// memory.
+	StallCycles uint64
+
+	L1HitRate float64
+	L2HitRate float64
+	L3HitRate float64
+
+	// Coverage, UsefulPrefetchFrac and DelayedRegularFrac are the Fig. 13
+	// metrics (zero when memory-side prefetching is off).
+	Coverage           float64
+	UsefulPrefetchFrac float64
+	DelayedRegularFrac float64
+
+	// PSIssued counts processor-side prefetch requests.
+	PSIssued uint64
+
+	// TrueLengths is the generator's ground-truth stream-length
+	// distribution; ApproxLengths is the Stream Filter's approximation;
+	// LastEpochSLH is the final epoch's reads-weighted SLH (ASD engine
+	// runs only).
+	TrueLengths   *stats.Histogram
+	ApproxLengths *stats.Histogram
+	LastEpochSLH  *stats.Histogram
+	// EpochSLHs is the per-epoch SLH history (populated only when
+	// Config.ASD.KeepHistory is set and the ASD engine is in use).
+	EpochSLHs []*stats.Histogram
+
+	// PolicyEpochs reports adaptive-scheduling policy residency.
+	PolicyEpochs [6]uint64
+}
+
+// flightKind classifies an outstanding memory-system read.
+type flightKind int
+
+const (
+	flightDemand flightKind = iota
+	flightPSL1
+	flightPSL2
+)
+
+// waiter is a thread pending-entry attached to a flight.
+type waiter struct {
+	th     *cpu.Thread
+	pendID uint64
+}
+
+// flight is one outstanding line fetch from the memory controller.
+type flight struct {
+	line    mem.Line
+	kind    flightKind
+	dirty   bool
+	needL1  bool
+	waiters []waiter
+	done    bool
+	doneAt  uint64
+}
+
+// runner holds one simulation's live state.
+type runner struct {
+	cfg     Config
+	threads []*cpu.Thread
+	gens    []*workload.Generator
+	hier    *cache.Hierarchy
+	dram    *dram.DRAM
+	ctrl    *mc.Controller
+	ps      *prefetch.PS
+	engines []prefetch.MSEngine
+
+	mcNow    uint64
+	flights  map[mem.Line]*flight
+	psBusy   int
+	cmdID    uint64
+	lastLine map[int]mem.Line // per-thread last accessed line (PS observation)
+}
+
+// maxPSOutstanding bounds in-flight processor-side prefetches: eight
+// concurrent streams, each keeping an L1-bound and an L2-bound line in
+// flight.
+const maxPSOutstanding = 16
+
+// Run simulates benchmark bench under cfg and returns the results.
+func Run(bench string, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	r, err := buildRunner(bench, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r.loop()
+	return r.collect(bench), nil
+}
+
+// RunTrace simulates arbitrary per-thread trace sources (one per
+// configured thread) under cfg — the replay path for traces written by
+// cmd/tracegen or collected externally. Ground-truth stream statistics
+// (Result.TrueLengths) are unavailable in this mode.
+func RunTrace(name string, sources []trace.Source, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(sources) != cfg.Threads {
+		return Result{}, fmt.Errorf("sim: %d trace sources for %d threads", len(sources), cfg.Threads)
+	}
+	r := newRunnerShell(cfg)
+	for t, src := range sources {
+		r.threads = append(r.threads, cpu.NewThread(t, src, cpu.Config{
+			Window:             cfg.Window,
+			MaxOutstanding:     cfg.MaxOutstanding,
+			BudgetInstructions: cfg.InstrBudget,
+		}))
+	}
+	r.loop()
+	return r.collect(name), nil
+}
+
+// buildRunner assembles the system for one named-benchmark run.
+func buildRunner(bench string, cfg Config) (*runner, error) {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	r := newRunnerShell(cfg)
+	for t := 0; t < cfg.Threads; t++ {
+		g, err := workload.NewGenerator(prof, cfg.Seed, t)
+		if err != nil {
+			return nil, err
+		}
+		r.gens = append(r.gens, g)
+		r.threads = append(r.threads, cpu.NewThread(t, g, cpu.Config{
+			Window:             cfg.Window,
+			MaxOutstanding:     cfg.MaxOutstanding,
+			BudgetInstructions: cfg.InstrBudget,
+		}))
+	}
+	return r, nil
+}
+
+// newRunnerShell wires the memory system (caches, MC, DRAM, prefetchers)
+// without threads.
+func newRunnerShell(cfg Config) *runner {
+	r := &runner{cfg: cfg, flights: make(map[mem.Line]*flight), lastLine: make(map[int]mem.Line)}
+	r.hier = cache.NewHierarchy(cfg.Cache)
+	r.dram = dram.New(cfg.DRAM)
+
+	var adaptive *core.AdaptiveScheduler
+	if cfg.msEnabled() {
+		for t := 0; t < cfg.Threads; t++ {
+			r.engines = append(r.engines, newEngine(cfg))
+		}
+		adaptive = core.NewAdaptiveScheduler(cfg.Sched)
+	}
+	r.ctrl = mc.New(cfg.MC, r.dram, r.engines, adaptive)
+	r.ctrl.SetReadDone(r.onReadDone)
+
+	if cfg.psEnabled() {
+		r.ps = prefetch.NewPS(cfg.PS)
+	}
+	return r
+}
+
+// newEngine builds the configured memory-side engine.
+func newEngine(cfg Config) prefetch.MSEngine {
+	switch cfg.Engine {
+	case EngineASD:
+		return core.NewEngine(cfg.ASD)
+	case EngineNextLine:
+		return prefetch.NewNextLine()
+	case EngineP5Style:
+		return prefetch.NewP5Style(prefetch.DefaultP5StyleConfig())
+	case EngineGHB:
+		return prefetch.NewGHB(prefetch.DefaultGHBConfig())
+	default:
+		panic(fmt.Sprintf("sim: unknown engine kind %d", int(cfg.Engine)))
+	}
+}
+
+// loop runs all threads to completion and drains the memory system.
+func (r *runner) loop() {
+	for {
+		th := r.pickRunnable()
+		if th == nil {
+			break // all threads finished
+		}
+		if b := th.BlockedOn(); b != nil {
+			f := r.flights[b.Line]
+			if f == nil {
+				panic(fmt.Sprintf("sim: thread %d blocked on line %d with no flight", th.ID, b.Line))
+			}
+			r.stepUntilFlightDone(f)
+			th.Resume(f.doneAt)
+			continue
+		}
+		r.stepMCTo(th.Now)
+		rec, ok := th.NextRecord()
+		if !ok {
+			continue
+		}
+		r.execute(th, rec)
+	}
+	// Drain remaining memory traffic so power integration and thread
+	// completion times include the tail. Queued-but-unissued prefetches
+	// are dropped first: no further demand traffic will arrive to
+	// satisfy a policy that waits for queue conditions.
+	r.ctrl.FlushLPQ()
+	for r.ctrl.Busy() {
+		r.mcNow += mem.CPUCyclesPerMCCycle
+		r.ctrl.Step(r.mcNow)
+	}
+}
+
+// pickRunnable returns the unfinished thread with the smallest clock that
+// is not blocked on memory, or nil.
+func (r *runner) pickRunnable() *cpu.Thread {
+	var best *cpu.Thread
+	for _, th := range r.threads {
+		if th.Finished() {
+			continue
+		}
+		if best == nil || th.Now < best.Now {
+			best = th
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Prefer a non-blocked thread when the min-clock one is blocked.
+	if best.BlockedOn() != nil {
+		for _, th := range r.threads {
+			if !th.Finished() && th.BlockedOn() == nil {
+				return th
+			}
+		}
+	}
+	return best
+}
+
+// stepMCTo processes memory-controller work in the background up to CPU
+// cycle target.
+func (r *runner) stepMCTo(target uint64) {
+	for r.mcNow+mem.CPUCyclesPerMCCycle <= target {
+		if !r.ctrl.Busy() {
+			// Jump across idle time, staying MC-cycle aligned.
+			r.mcNow = target - target%mem.CPUCyclesPerMCCycle
+			return
+		}
+		wake := r.ctrl.NextWake(r.mcNow)
+		next := r.mcNow + mem.CPUCyclesPerMCCycle
+		if wake > next && wake != ^uint64(0) {
+			aligned := wake - wake%mem.CPUCyclesPerMCCycle
+			if aligned > next && aligned <= target {
+				next = aligned
+			} else if aligned > target {
+				next = target - target%mem.CPUCyclesPerMCCycle
+				if next <= r.mcNow {
+					return
+				}
+			}
+		}
+		r.mcNow = next
+		r.ctrl.Step(r.mcNow)
+	}
+}
+
+// stepUntilFlightDone advances the MC until flight f completes.
+func (r *runner) stepUntilFlightDone(f *flight) {
+	for !f.done {
+		if !r.ctrl.Busy() {
+			panic(fmt.Sprintf("sim: deadlock waiting for line %d", f.line))
+		}
+		wake := r.ctrl.NextWake(r.mcNow)
+		next := r.mcNow + mem.CPUCyclesPerMCCycle
+		if wake != ^uint64(0) && wake > next {
+			next = wake - wake%mem.CPUCyclesPerMCCycle
+			if next <= r.mcNow {
+				next = r.mcNow + mem.CPUCyclesPerMCCycle
+			}
+		}
+		r.mcNow = next
+		r.ctrl.Step(r.mcNow)
+	}
+}
+
+// execute resolves one trace record for thread th.
+func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
+	line := mem.LineOf(rec.Addr)
+	store := rec.Op == trace.Store
+	res := r.hier.Access(line, store)
+	r.enqueueWritebacks(res.Writebacks, th)
+
+	// The PS unit watches the demand reference stream at line granularity
+	// (hits on previously prefetched lines must keep a stream alive, or
+	// the unit would lose every stream it successfully covers).
+	psObserve := r.ps != nil && line != r.lastLine[th.ID]
+	if r.ps != nil {
+		r.lastLine[th.ID] = line
+	}
+
+	if res.Level != cache.Memory {
+		if !store && res.Level != cache.LevelL1 {
+			th.ChargeHit(res.Latency / r.cfg.HitOverlap)
+		}
+		if psObserve {
+			r.psMiss(th, line)
+		}
+		return
+	}
+
+	// Full miss: goes to the memory controller. The demand Read is filed
+	// before any prefetches it triggers, so prefetch traffic never queues
+	// ahead of the miss the CPU is about to block on.
+	if f, ok := r.flights[line]; ok {
+		// Line already inbound (demand from the other thread, or a PS
+		// prefetch): merge.
+		pendID := th.AddPending(line, !store)
+		f.waiters = append(f.waiters, waiter{th: th, pendID: pendID})
+		f.needL1 = true
+		f.dirty = f.dirty || store
+	} else {
+		pendID := th.AddPending(line, !store)
+		f := &flight{line: line, kind: flightDemand, dirty: store, needL1: true,
+			waiters: []waiter{{th: th, pendID: pendID}}}
+		r.flights[line] = f
+		r.enqueueRead(line, th.ID, th.Now)
+	}
+	if psObserve {
+		r.psMiss(th, line)
+	}
+}
+
+// psMiss feeds the processor-side prefetcher with an L1 miss and launches
+// any prefetches it requests.
+func (r *runner) psMiss(th *cpu.Thread, line mem.Line) {
+	for _, req := range r.ps.ObserveMiss(line, th.Now) {
+		if r.hier.Contains(req.Line) {
+			continue // already on chip
+		}
+		if _, ok := r.flights[req.Line]; ok {
+			continue // already inbound
+		}
+		if r.psBusy >= maxPSOutstanding {
+			continue
+		}
+		kind := flightPSL2
+		if req.IntoL1 {
+			kind = flightPSL1
+		}
+		r.flights[req.Line] = &flight{line: req.Line, kind: kind, needL1: req.IntoL1}
+		r.psBusy++
+		r.enqueueRead(req.Line, th.ID, th.Now)
+	}
+}
+
+// enqueueRead files a Read with the memory controller.
+func (r *runner) enqueueRead(line mem.Line, thread int, now uint64) {
+	r.cmdID++
+	r.ctrl.Enqueue(mem.Command{Kind: mem.Read, Line: line, Thread: thread, Arrival: now, ID: r.cmdID})
+}
+
+// enqueueWritebacks files cast-out Writes.
+func (r *runner) enqueueWritebacks(lines []mem.Line, th *cpu.Thread) {
+	for _, l := range lines {
+		r.cmdID++
+		r.ctrl.Enqueue(mem.Command{Kind: mem.Write, Line: l, Thread: th.ID, Arrival: th.Now, ID: r.cmdID})
+	}
+}
+
+// onReadDone is the MC completion callback: it fills the caches, releases
+// waiting threads, and retires the flight.
+func (r *runner) onReadDone(cmd mem.Command, at uint64) {
+	f, ok := r.flights[cmd.Line]
+	if !ok {
+		return
+	}
+	delete(r.flights, cmd.Line)
+	f.done = true
+	f.doneAt = at
+
+	var wbs []mem.Line
+	if f.kind == flightPSL2 && !f.needL1 {
+		wbs = r.hier.FillL2Only(f.line)
+	} else {
+		wbs = r.hier.Fill(f.line, f.dirty)
+	}
+	if f.kind != flightDemand {
+		r.psBusy--
+	}
+	for _, w := range f.waiters {
+		w.th.Complete(w.pendID)
+		if w.th.Finished() {
+			w.th.DrainTo(at)
+		}
+	}
+	// Writebacks caused by the fill enter the MC now.
+	for _, l := range wbs {
+		r.cmdID++
+		r.ctrl.Enqueue(mem.Command{Kind: mem.Write, Line: l, Thread: cmd.Thread, Arrival: at, ID: r.cmdID})
+	}
+}
+
+// collect assembles the Result.
+func (r *runner) collect(bench string) Result {
+	res := Result{Benchmark: bench, Mode: r.cfg.Mode}
+	for _, th := range r.threads {
+		if th.Now > res.Cycles {
+			res.Cycles = th.Now
+		}
+		res.Instructions += th.Instructions
+		res.StallCycles += th.StallCycles
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.MC = r.ctrl.Stats()
+	res.DRAM = r.dram.Stats()
+	res.L1HitRate = r.hier.L1.HitRate()
+	res.L2HitRate = r.hier.L2.HitRate()
+	res.L3HitRate = r.hier.L3.HitRate()
+	res.Coverage = r.ctrl.Coverage()
+	res.UsefulPrefetchFrac = r.ctrl.UsefulPrefetchFrac()
+	res.DelayedRegularFrac = r.ctrl.DelayedRegularFrac()
+	if r.ps != nil {
+		res.PSIssued = r.ps.Issued
+	}
+	res.TrueLengths = stats.NewHistogram(16)
+	for _, g := range r.gens {
+		merge(res.TrueLengths, g.TrueLengths)
+	}
+	if len(r.engines) > 0 {
+		if eng, ok := r.engines[0].(*core.Engine); ok {
+			res.ApproxLengths = eng.ApproxLengths.Clone()
+			res.LastEpochSLH = eng.LastEpochSLH()
+			res.EpochSLHs = eng.EpochHistory()
+		}
+	}
+	if a := r.ctrl.Adaptive(); a != nil {
+		res.PolicyEpochs = a.PolicyEpochs
+	}
+	return res
+}
+
+// merge adds src's buckets into dst.
+func merge(dst, src *stats.Histogram) {
+	for i := 1; i <= src.Buckets(); i++ {
+		if c := src.Count(i); c > 0 {
+			dst.ObserveN(i, c)
+		}
+	}
+}
+
+// newRunnerForTest builds (but does not run) a runner; tests use it to
+// inspect internal component state after a run.
+func newRunnerForTest(bench string, cfg Config) (*runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return buildRunner(bench, cfg)
+}

@@ -1,0 +1,363 @@
+package slh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperLHT is an lht() vector consistent with the paper's Fig. 2 worked
+// example: 21.8% of Reads in streams of length 1, 43.7% in length 2, and
+// the prose conclusion "prefetches should be issued for any Read request
+// whose current stream length is 3 or greater than 6".
+var paperLHT = []uint32{1000, 782, 345, 285, 135, 65, 30, 25, 22, 19, 16, 13, 11, 9, 7, 5}
+
+func paperTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := New(DefaultConfig())
+	tbl.LoadCurr(paperLHT)
+	return tbl
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"maxlen": {MaxLength: 1, EpochLen: 100},
+		"epoch":  {MaxLength: 16, EpochLen: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestPaperWorkedExampleDecisions(t *testing.T) {
+	tbl := paperTable(t)
+	want := map[int]bool{
+		1: true,  // 21.8% length-1 vs 78.2% longer: prefetch
+		2: false, // 43.7% exactly-2 beats 34.5% longer: stop
+		3: true,
+		4: false,
+		5: false,
+		6: false,
+	}
+	for k := 7; k <= 16; k++ {
+		want[k] = true // "... or greater than 6"
+	}
+	for k, w := range want {
+		if got := tbl.ShouldPrefetch(k); got != w {
+			t.Errorf("ShouldPrefetch(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestPaperExampleProbabilities(t *testing.T) {
+	tbl := paperTable(t)
+	if got := tbl.P(1, 1); math.Abs(got-0.218) > 1e-9 {
+		t.Errorf("P(1,1) = %v, want 0.218", got)
+	}
+	if got := tbl.P(2, 2); math.Abs(got-0.437) > 1e-9 {
+		t.Errorf("P(2,2) = %v, want 0.437", got)
+	}
+	if got := tbl.P(2, 16); math.Abs(got-0.782) > 1e-9 {
+		t.Errorf("P(2,16) = %v, want 0.782", got)
+	}
+	if got := tbl.P(1, 16); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("P(1,16) = %v, want 1", got)
+	}
+}
+
+func TestPEdgeCases(t *testing.T) {
+	tbl := New(DefaultConfig())
+	if tbl.P(1, 1) != 0 {
+		t.Error("P on empty table should be 0")
+	}
+	tbl.LoadCurr(paperLHT)
+	if tbl.P(0, 3) != 0 || tbl.P(3, 2) != 0 {
+		t.Error("invalid ranges should be 0")
+	}
+}
+
+func TestShouldPrefetchInvalidK(t *testing.T) {
+	tbl := paperTable(t)
+	if tbl.ShouldPrefetch(0) || tbl.ShouldPrefetch(-1) {
+		t.Error("k < 1 must not prefetch")
+	}
+}
+
+func TestShouldPrefetchClampsBeyondTable(t *testing.T) {
+	tbl := New(DefaultConfig())
+	// Long-stream workload: nearly all mass at n_s.
+	lht := make([]uint32, 16)
+	for i := range lht {
+		lht[i] = 900
+	}
+	lht[0] = 1000
+	tbl.LoadCurr(lht)
+	if !tbl.ShouldPrefetch(16) || !tbl.ShouldPrefetch(40) {
+		t.Error("long streams beyond n_s should keep prefetching")
+	}
+}
+
+func TestEmptyTableNeverPrefetches(t *testing.T) {
+	tbl := New(DefaultConfig())
+	for k := 1; k <= 16; k++ {
+		if tbl.ShouldPrefetch(k) {
+			t.Fatalf("empty table prefetched at k=%d", k)
+		}
+	}
+}
+
+func TestLHTBounds(t *testing.T) {
+	tbl := paperTable(t)
+	if tbl.LHT(0) != 0 || tbl.LHT(17) != 0 {
+		t.Error("out-of-range lht should be 0")
+	}
+	if tbl.LHT(1) != 1000 || tbl.LHT(16) != 5 {
+		t.Errorf("lht(1)=%d lht(16)=%d", tbl.LHT(1), tbl.LHT(16))
+	}
+}
+
+func TestStreamEndedFoldsIntoNext(t *testing.T) {
+	tbl := New(Config{MaxLength: 4, EpochLen: 1000})
+	tbl.StreamEnded(3)
+	tbl.EpochEnd()
+	// One stream of length 3 contributes 3 Reads to lht(1..3).
+	want := []uint32{3, 3, 3, 0}
+	for i := 1; i <= 4; i++ {
+		if got := tbl.LHT(i); got != want[i-1] {
+			t.Errorf("lht(%d) = %d, want %d", i, got, want[i-1])
+		}
+	}
+	if tbl.Epochs != 1 {
+		t.Errorf("Epochs = %d", tbl.Epochs)
+	}
+}
+
+func TestStreamEndedLongerThanTable(t *testing.T) {
+	tbl := New(Config{MaxLength: 4, EpochLen: 1000})
+	tbl.StreamEnded(10)
+	tbl.EpochEnd()
+	for i := 1; i <= 4; i++ {
+		if got := tbl.LHT(i); got != 10 {
+			t.Errorf("lht(%d) = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestStreamEndedIgnoresNonPositive(t *testing.T) {
+	tbl := New(DefaultConfig())
+	tbl.StreamEnded(0)
+	tbl.StreamEnded(-5)
+	tbl.EpochEnd()
+	if tbl.LHT(1) != 0 {
+		t.Error("non-positive lengths must be ignored")
+	}
+}
+
+func TestMidEpochDrain(t *testing.T) {
+	tbl := New(Config{MaxLength: 4, EpochLen: 1000})
+	tbl.StreamEnded(2)
+	tbl.StreamEnded(2)
+	tbl.EpochEnd() // curr: lht = [4,4,0,0]
+	if !tbl.ShouldPrefetch(1) {
+		t.Fatal("should prefetch at k=1 with all-length-2 history")
+	}
+	// During the epoch, streams completing drain LHTcurr.
+	tbl.StreamEnded(2)
+	tbl.StreamEnded(2)
+	// curr fully drained: [0,0,0,0].
+	if tbl.LHT(1) != 0 || tbl.LHT(2) != 0 {
+		t.Errorf("curr not drained: lht(1)=%d lht(2)=%d", tbl.LHT(1), tbl.LHT(2))
+	}
+	// And next has accumulated for the coming epoch.
+	tbl.EpochEnd()
+	if tbl.LHT(1) != 4 || tbl.LHT(2) != 4 {
+		t.Errorf("next epoch lht(1)=%d lht(2)=%d, want 4,4", tbl.LHT(1), tbl.LHT(2))
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	tbl := New(Config{MaxLength: 4, EpochLen: 10})
+	for i := 0; i < 100; i++ {
+		tbl.StreamEnded(4)
+	}
+	tbl.EpochEnd()
+	if tbl.LHT(1) != 10 {
+		t.Errorf("lht(1) = %d, want saturation at epoch length 10", tbl.LHT(1))
+	}
+}
+
+func TestPrefetchDegree(t *testing.T) {
+	tbl := paperTable(t)
+	// k=2: lht(2)=782 >= 2*lht(3)=690, degree 0.
+	if got := tbl.PrefetchDegree(2, 4); got != 0 {
+		t.Errorf("degree(2) = %d, want 0", got)
+	}
+	// k=3: lht(3)=345 < 2*lht(4)=570 (m=1) but >= 2*lht(5)=270 (m=2).
+	if got := tbl.PrefetchDegree(3, 4); got != 1 {
+		t.Errorf("degree(3) = %d, want 1", got)
+	}
+	// Long-stream table: full degree available.
+	long := New(DefaultConfig())
+	lht := make([]uint32, 16)
+	for i := range lht {
+		lht[i] = 1000
+	}
+	long.LoadCurr(lht)
+	if got := long.PrefetchDegree(1, 4); got != 4 {
+		t.Errorf("long degree = %d, want 4", got)
+	}
+	if got := tbl.PrefetchDegree(0, 4); got != 0 {
+		t.Errorf("degree(k=0) = %d", got)
+	}
+	if got := tbl.PrefetchDegree(3, 0); got != 0 {
+		t.Errorf("degree(max=0) = %d", got)
+	}
+}
+
+func TestPrefetchDegreeConsistentWithShouldPrefetch(t *testing.T) {
+	f := func(raw []uint16, k uint8) bool {
+		tbl := New(DefaultConfig())
+		lht := make([]uint32, 16)
+		// Build a non-increasing vector from raw.
+		v := uint32(20000)
+		for i := range lht {
+			if i < len(raw) {
+				v -= uint32(raw[i] % 512)
+			}
+			lht[i] = v
+		}
+		tbl.LoadCurr(lht)
+		kk := int(k%20) + 1
+		should := tbl.ShouldPrefetch(kk)
+		deg := tbl.PrefetchDegree(kk, 4)
+		return should == (deg >= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRoundTrip(t *testing.T) {
+	tbl := New(Config{MaxLength: 8, EpochLen: 10000})
+	// 10 streams of length 2 (20 reads), 5 of length 1 (5 reads).
+	for i := 0; i < 10; i++ {
+		tbl.StreamEnded(2)
+	}
+	for i := 0; i < 5; i++ {
+		tbl.StreamEnded(1)
+	}
+	tbl.EpochEnd()
+	h := tbl.Histogram()
+	if h.Total() != 25 {
+		t.Fatalf("histogram total = %d, want 25 reads", h.Total())
+	}
+	if got := h.Frac(2); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("Frac(2) = %v, want 0.8", got)
+	}
+	if got := h.Frac(1); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("Frac(1) = %v, want 0.2", got)
+	}
+}
+
+func TestHistogramFinalBucket(t *testing.T) {
+	tbl := New(Config{MaxLength: 4, EpochLen: 10000})
+	tbl.StreamEnded(9) // 9 reads, length >= 4 bucket
+	tbl.EpochEnd()
+	h := tbl.Histogram()
+	if h.Count(4) != 9 {
+		t.Errorf("final bucket = %d, want 9", h.Count(4))
+	}
+}
+
+func TestLoadCurrPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(DefaultConfig()).LoadCurr([]uint32{1, 2, 3})
+}
+
+func TestReset(t *testing.T) {
+	tbl := paperTable(t)
+	tbl.StreamEnded(5)
+	tbl.Reset()
+	if tbl.LHT(1) != 0 || tbl.Epochs != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func BenchmarkShouldPrefetch(b *testing.B) {
+	tbl := New(DefaultConfig())
+	tbl.LoadCurr(paperLHT)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.ShouldPrefetch(i%16 + 1)
+	}
+}
+
+// Property: the prefetch decision depends only on the SHAPE of the lht
+// vector — scaling every entry by a constant must not change any
+// decision (the hardware comparator sees the same ordering).
+func TestDecisionScaleInvariance(t *testing.T) {
+	f := func(raw []uint16, scale uint8) bool {
+		k := int(scale%7) + 2
+		tbl1 := New(DefaultConfig())
+		tbl2 := New(DefaultConfig())
+		v1 := make([]uint32, 16)
+		v2 := make([]uint32, 16)
+		acc := uint32(60000)
+		for i := 0; i < 16; i++ {
+			if i < len(raw) {
+				acc -= uint32(raw[i] % 512)
+			}
+			v1[i] = acc / 16
+			v2[i] = (acc / 16) * uint32(k)
+		}
+		tbl1.LoadCurr(v1)
+		tbl2.LoadCurr(v2)
+		for kk := 1; kk <= 16; kk++ {
+			if tbl1.ShouldPrefetch(kk) != tbl2.ShouldPrefetch(kk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: folding any set of streams through StreamEnded/EpochEnd
+// yields a non-increasing lht vector with lht(1) = total reads
+// (saturation permitting).
+func TestLHTMonotoneProperty(t *testing.T) {
+	f := func(lengths []uint8) bool {
+		tbl := New(Config{MaxLength: 16, EpochLen: 1 << 20})
+		var reads uint32
+		for _, l := range lengths {
+			n := int(l%20) + 1
+			tbl.StreamEnded(n)
+			reads += uint32(n)
+		}
+		tbl.EpochEnd()
+		if tbl.LHT(1) != reads {
+			return false
+		}
+		for i := 1; i < 16; i++ {
+			if tbl.LHT(i) < tbl.LHT(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

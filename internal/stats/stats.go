@@ -1,0 +1,249 @@
+// Package stats provides the measurement substrate used throughout the
+// simulator: named counters, bounded integer histograms, and simple
+// derived-rate helpers. All types are deterministic and allocation-light
+// so they can live on hot simulation paths.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter uint64
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { *c++ }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Ratio returns c / denom as a float, or 0 when denom is zero.
+func (c Counter) Ratio(denom Counter) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(c) / float64(denom)
+}
+
+// Percent returns 100 * c / denom, or 0 when denom is zero.
+func (c Counter) Percent(denom Counter) float64 { return 100 * c.Ratio(denom) }
+
+// Histogram is a bounded histogram over the integers [1, N]; values above
+// N accumulate in the final bucket, matching the paper's Stream Length
+// Histogram convention where the rightmost bar is "length >= n_s".
+type Histogram struct {
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with n buckets covering values 1..n.
+func NewHistogram(n int) *Histogram {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: histogram needs at least 1 bucket, got %d", n))
+	}
+	return &Histogram{buckets: make([]uint64, n)}
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Observe records one occurrence of value v (v < 1 is clamped to 1,
+// v > N to N).
+func (h *Histogram) Observe(v int) { h.ObserveN(v, 1) }
+
+// ObserveN records n occurrences of value v.
+func (h *Histogram) ObserveN(v int, n uint64) {
+	if v < 1 {
+		v = 1
+	}
+	if v > len(h.buckets) {
+		v = len(h.buckets)
+	}
+	h.buckets[v-1] += n
+	h.total += n
+}
+
+// Count returns the number of observations of value v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 1 || v > len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v-1]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Frac returns the fraction of observations equal to v.
+func (h *Histogram) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// CumFromAbove returns the number of observations with value >= v.
+func (h *Histogram) CumFromAbove(v int) uint64 {
+	if v < 1 {
+		v = 1
+	}
+	var sum uint64
+	for i := v; i <= len(h.buckets); i++ {
+		sum += h.buckets[i-1]
+	}
+	return sum
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.total = 0
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram(len(h.buckets))
+	copy(c.buckets, h.buckets)
+	c.total = h.total
+	return c
+}
+
+// Fractions returns the per-bucket fractions as a slice indexed by value-1.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.buckets))
+	if h.total == 0 {
+		return out
+	}
+	for i, b := range h.buckets {
+		out[i] = float64(b) / float64(h.total)
+	}
+	return out
+}
+
+// L1Distance returns the L1 distance between the fraction vectors of two
+// histograms; used to quantify SLH-approximation accuracy (paper Fig. 16).
+func (h *Histogram) L1Distance(o *Histogram) float64 {
+	a, b := h.Fractions(), o.Fractions()
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var d float64
+	for i := 0; i < n; i++ {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d += math.Abs(av - bv)
+	}
+	return d
+}
+
+// String renders the histogram as "v:count" pairs for debugging.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, b := range h.buckets {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d:%d", i+1, b)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Mean returns the mean observed value (values clamped into [1,N]).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, b := range h.buckets {
+		sum += float64(i+1) * float64(b)
+	}
+	return sum / float64(h.total)
+}
+
+// Set is a string-keyed collection of counters with deterministic listing
+// order, used for per-run metric dumps.
+type Set struct {
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{counters: make(map[string]*Counter)} }
+
+// Counter returns the counter registered under name, creating it if
+// necessary.
+func (s *Set) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = new(Counter)
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Names returns all registered counter names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the value of a counter (0 if absent).
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// GeoMean returns the geometric mean of xs; it ignores non-positive
+// entries the way the paper's "average improvement" summaries must (a 0%
+// gain is kept by mapping through 1+x). Pass already-shifted values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	if got := c.Ratio(Counter(40)); got != 0.25 {
+		t.Errorf("Ratio = %v, want 0.25", got)
+	}
+	if got := c.Percent(Counter(40)); got != 25 {
+		t.Errorf("Percent = %v, want 25", got)
+	}
+	if got := c.Ratio(0); got != 0 {
+		t.Errorf("Ratio with zero denom = %v, want 0", got)
+	}
+}
+
+func TestHistogramObserveAndClamp(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2)
+	h.Observe(9)  // clamps to 4
+	h.Observe(0)  // clamps to 1
+	h.Observe(-3) // clamps to 1
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(1) != 3 || h.Count(2) != 2 || h.Count(3) != 0 || h.Count(4) != 1 {
+		t.Errorf("counts = %v", h)
+	}
+	if h.Count(0) != 0 || h.Count(5) != 0 {
+		t.Errorf("out-of-range Count should be 0")
+	}
+}
+
+func TestHistogramCumFromAbove(t *testing.T) {
+	h := NewHistogram(5)
+	for v := 1; v <= 5; v++ {
+		h.ObserveN(v, uint64(v)) // 1,2,3,4,5 observations
+	}
+	if got := h.CumFromAbove(1); got != 15 {
+		t.Errorf("CumFromAbove(1) = %d, want 15", got)
+	}
+	if got := h.CumFromAbove(3); got != 12 {
+		t.Errorf("CumFromAbove(3) = %d, want 12", got)
+	}
+	if got := h.CumFromAbove(6); got != 0 {
+		t.Errorf("CumFromAbove(6) = %d, want 0", got)
+	}
+	if got := h.CumFromAbove(-1); got != 15 {
+		t.Errorf("CumFromAbove(-1) = %d, want 15", got)
+	}
+}
+
+func TestHistogramFracAndFractions(t *testing.T) {
+	h := NewHistogram(2)
+	h.ObserveN(1, 3)
+	h.ObserveN(2, 1)
+	if got := h.Frac(1); got != 0.75 {
+		t.Errorf("Frac(1) = %v, want 0.75", got)
+	}
+	fr := h.Fractions()
+	if fr[0] != 0.75 || fr[1] != 0.25 {
+		t.Errorf("Fractions = %v", fr)
+	}
+	empty := NewHistogram(2)
+	if empty.Frac(1) != 0 {
+		t.Errorf("empty Frac should be 0")
+	}
+}
+
+func TestHistogramResetClone(t *testing.T) {
+	h := NewHistogram(3)
+	h.ObserveN(2, 7)
+	c := h.Clone()
+	h.Reset()
+	if h.Total() != 0 || h.Count(2) != 0 {
+		t.Errorf("Reset failed: %v", h)
+	}
+	if c.Total() != 7 || c.Count(2) != 7 {
+		t.Errorf("Clone affected by Reset: %v", c)
+	}
+}
+
+func TestHistogramL1Distance(t *testing.T) {
+	a := NewHistogram(2)
+	b := NewHistogram(2)
+	a.ObserveN(1, 10)
+	b.ObserveN(2, 10)
+	if got := a.L1Distance(b); math.Abs(got-2) > 1e-12 {
+		t.Errorf("L1 = %v, want 2", got)
+	}
+	if got := a.L1Distance(a.Clone()); got != 0 {
+		t.Errorf("self L1 = %v, want 0", got)
+	}
+}
+
+// Property: the cumulative-from-above function is non-increasing in v and
+// CumFromAbove(1) equals Total.
+func TestHistogramCumMonotone(t *testing.T) {
+	f := func(obs []uint8) bool {
+		h := NewHistogram(16)
+		for _, o := range obs {
+			h.Observe(int(o % 20))
+		}
+		if h.CumFromAbove(1) != h.Total() {
+			return false
+		}
+		for v := 1; v < 16; v++ {
+			if h.CumFromAbove(v) < h.CumFromAbove(v+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.ObserveN(2, 2)
+	h.ObserveN(4, 2)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if NewHistogram(3).Mean() != 0 {
+		t.Errorf("empty Mean should be 0")
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewHistogram(0) should panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if s.Get("b") != 3 || s.Get("a") != 1 || s.Get("zzz") != 0 {
+		t.Errorf("Get wrong: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("GeoMean of non-positive = %v, want 0", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package stream implements the Stream Filter of the paper's §3.3: a
+// small table of slots, one per Read stream observed at the memory
+// controller, tracking each stream's last address, length, direction, and
+// lifetime. Stream terminations feed the Stream Length Histogram.
+package stream
+
+import (
+	"fmt"
+
+	"asdsim/internal/mem"
+)
+
+// EndFunc is called whenever a stream leaves the filter (lifetime expiry,
+// capacity overflow, or epoch flush) with its observed length and
+// direction. The SLH machinery subscribes here.
+type EndFunc func(length int, dir mem.Direction)
+
+// Config holds filter parameters.
+type Config struct {
+	// Slots is the number of streams tracked concurrently (8 per thread
+	// in the paper's evaluated configuration).
+	Slots int
+	// Lifetime is the slot lifetime in CPU cycles. §3.3 says a matching
+	// Read increments the lifetime by a predetermined value; a hardware
+	// lifetime counter saturates at its width, so the model equivalent
+	// is that each hit resets the countdown: a slot expires Lifetime
+	// cycles after its last matching Read.
+	Lifetime uint64
+}
+
+// DefaultConfig returns the paper's configuration: 8 slots. The lifetime
+// value is not given in the paper; 2048 CPU cycles rides out several DRAM
+// round-trips between consecutive stream reads while still letting dead
+// streams vacate their slots before the filter thrashes.
+func DefaultConfig() Config { return Config{Slots: 8, Lifetime: 1280} }
+
+// slot is one tracked stream.
+type slot struct {
+	valid     bool
+	last      mem.Line
+	length    int
+	dir       mem.Direction
+	expiresAt uint64
+}
+
+// Filter is the Stream Filter.
+type Filter struct {
+	cfg   Config
+	slots []slot
+	onEnd EndFunc
+
+	// Observations counts Reads presented to the filter.
+	Observations uint64
+	// Overflows counts Reads that could not allocate a slot.
+	Overflows uint64
+	// Repeats counts Reads that re-touched a stream's head line
+	// (lifetime refresh without a length change).
+	Repeats uint64
+}
+
+// NewFilter returns a filter with cfg; onEnd may be nil.
+func NewFilter(cfg Config, onEnd EndFunc) *Filter {
+	if cfg.Slots <= 0 {
+		panic(fmt.Sprintf("stream: Slots must be positive, got %d", cfg.Slots))
+	}
+	if cfg.Lifetime == 0 {
+		panic("stream: Lifetime must be positive")
+	}
+	return &Filter{cfg: cfg, slots: make([]slot, cfg.Slots), onEnd: onEnd}
+}
+
+// Observation is the filter's verdict on one Read.
+type Observation struct {
+	// Length is the detected current stream length including this Read.
+	Length int
+	// Dir is the stream's direction.
+	Dir mem.Direction
+	// Tracked is false when the Read could not be associated with any
+	// slot (filter full); the paper generates no prefetch in that case
+	// but still updates the SLH as if a length-1 stream were seen.
+	Tracked bool
+}
+
+// Observe presents a Read for line at CPU cycle now and returns the
+// stream observation. Expired slots are retired first.
+func (f *Filter) Observe(line mem.Line, now uint64) Observation {
+	f.Observations++
+	f.expire(now)
+
+	// A Read matching the most recent element of a tracked stream
+	// extends it. Per §3.3 a slot of length 1 has not committed to a
+	// direction yet: a Read one line below flips it to Negative.
+	for i := range f.slots {
+		s := &f.slots[i]
+		if !s.valid {
+			continue
+		}
+		switch {
+		case line == s.last.Next(int(s.dir)):
+			s.length++
+			s.last = line
+			s.expiresAt = now + f.cfg.Lifetime
+			return Observation{Length: s.length, Dir: s.dir, Tracked: true}
+		case s.length == 1 && line == s.last.Next(-1):
+			s.dir = mem.Down
+			s.length = 2
+			s.last = line
+			s.expiresAt = now + f.cfg.Lifetime
+			return Observation{Length: 2, Dir: mem.Down, Tracked: true}
+		case line == s.last:
+			// Repeated access to the stream head: refresh lifetime,
+			// no length change.
+			f.Repeats++
+			s.expiresAt = now + f.cfg.Lifetime
+			return Observation{Length: s.length, Dir: s.dir, Tracked: true}
+		}
+	}
+
+	// Not part of any stream: allocate a vacant slot if there is one.
+	for i := range f.slots {
+		s := &f.slots[i]
+		if s.valid {
+			continue
+		}
+		*s = slot{valid: true, last: line, length: 1, dir: mem.Up, expiresAt: now + f.cfg.Lifetime}
+		return Observation{Length: 1, Dir: mem.Up, Tracked: true}
+	}
+
+	// Filter full: record a length-1 stream in the SLH, generate nothing.
+	f.Overflows++
+	f.end(1, mem.Up)
+	return Observation{Length: 1, Dir: mem.Up, Tracked: false}
+}
+
+// expire retires slots whose lifetime has run out at cycle now.
+func (f *Filter) expire(now uint64) {
+	for i := range f.slots {
+		s := &f.slots[i]
+		if s.valid && s.expiresAt <= now {
+			f.end(s.length, s.dir)
+			s.valid = false
+		}
+	}
+}
+
+// Tick retires expired slots without observing a Read; the memory
+// controller calls this periodically so stream terminations reach the SLH
+// promptly even on quiet channels.
+func (f *Filter) Tick(now uint64) { f.expire(now) }
+
+// FlushEpoch evicts every stream (called at each epoch boundary: "At the
+// end of each epoch, all streams are evicted from the Stream Filter").
+func (f *Filter) FlushEpoch() {
+	for i := range f.slots {
+		s := &f.slots[i]
+		if s.valid {
+			f.end(s.length, s.dir)
+			s.valid = false
+		}
+	}
+}
+
+// Live returns the number of valid slots (for tests and reporting).
+func (f *Filter) Live() int {
+	n := 0
+	for i := range f.slots {
+		if f.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Filter) end(length int, dir mem.Direction) {
+	if f.onEnd != nil {
+		f.onEnd(length, dir)
+	}
+}

@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asdsim/internal/mem"
+	"asdsim/internal/trace"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	names := Names()
+	if len(names) != 30 {
+		t.Fatalf("registered %d profiles, want 30 (17 SPEC + 8 NAS + 5 commercial)", len(names))
+	}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", n, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestSuiteNamesMatchPaper(t *testing.T) {
+	if got := len(SuiteNames(SPEC2006FP)); got != 17 {
+		t.Errorf("SPEC2006fp count = %d, want 17", got)
+	}
+	if got := len(SuiteNames(NAS)); got != 8 {
+		t.Errorf("NAS count = %d, want 8", got)
+	}
+	if got := len(SuiteNames(Commercial)); got != 5 {
+		t.Errorf("commercial count = %d, want 5", got)
+	}
+	if SuiteNames(Suite("bogus")) != nil {
+		t.Error("unknown suite should return nil")
+	}
+	// Every suite member must be registered and carry the right suite tag.
+	for _, s := range []Suite{SPEC2006FP, NAS, Commercial} {
+		for _, n := range SuiteNames(s) {
+			p, err := ByName(n)
+			if err != nil {
+				t.Errorf("suite %s member %s not registered", s, n)
+				continue
+			}
+			if p.Suite != s {
+				t.Errorf("%s tagged %s, want %s", n, p.Suite, s)
+			}
+		}
+	}
+}
+
+func TestFocusBenchmarksRegistered(t *testing.T) {
+	fb := FocusBenchmarks()
+	if len(fb) != 8 {
+		t.Fatalf("focus set has %d entries, want 8", len(fb))
+	}
+	for _, n := range fb {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("focus benchmark %s: %v", n, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("GemsFDTD")
+	a := MustGenerator(p, 99, 0)
+	b := MustGenerator(p, 99, 0)
+	for i := 0; i < 5000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("diverged at record %d: %v vs %v", i, ra, rb)
+		}
+	}
+	if a.Emitted() != 5000 {
+		t.Errorf("Emitted = %d", a.Emitted())
+	}
+}
+
+func TestGeneratorThreadsDisjoint(t *testing.T) {
+	p, _ := ByName("tpcc")
+	g0 := MustGenerator(p, 5, 0)
+	g1 := MustGenerator(p, 5, 1)
+	r0 := trace.Collect(trace.Limit(g0, 2000), 0)
+	r1 := trace.Collect(trace.Limit(g1, 2000), 0)
+	max0, min1 := mem.Addr(0), mem.Addr(math.MaxUint64)
+	for _, r := range r0 {
+		if r.Addr > max0 {
+			max0 = r.Addr
+		}
+	}
+	for _, r := range r1 {
+		if r.Addr < min1 {
+			min1 = r.Addr
+		}
+	}
+	if max0 >= min1 {
+		t.Errorf("thread address ranges overlap: max0=%#x min1=%#x", max0, min1)
+	}
+}
+
+func TestGeneratorReadFraction(t *testing.T) {
+	p, _ := ByName("cg") // ReadFrac 0.90
+	g := MustGenerator(p, 3, 0)
+	reads := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if r.Op == trace.Load {
+			reads++
+		}
+	}
+	got := float64(reads) / n
+	if math.Abs(got-0.90) > 0.01 {
+		t.Errorf("read fraction = %v, want ~0.90", got)
+	}
+}
+
+func TestGeneratorMeanGap(t *testing.T) {
+	p, _ := ByName("lbm")
+	g := MustGenerator(p, 3, 0)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		sum += float64(r.Gap)
+	}
+	if got := sum / n; math.Abs(got-p.MeanGap) > 0.05*p.MeanGap+0.2 {
+		t.Errorf("mean gap = %v, want ~%v", got, p.MeanGap)
+	}
+}
+
+func TestGeneratorAddressesWithinFootprint(t *testing.T) {
+	p, _ := ByName("soplex")
+	g := MustGenerator(p, 21, 0)
+	limit := mem.Addr(p.FootprintLines+p.HotLines) * mem.LineSize
+	for i := 0; i < 50000; i++ {
+		r, _ := g.Next()
+		if r.Addr >= limit {
+			t.Fatalf("address %#x beyond footprint+hot limit %#x", r.Addr, limit)
+		}
+	}
+}
+
+// Streams must actually be streams: consecutive accesses of one stream
+// walk adjacent lines. We verify indirectly by checking that the true
+// stream-length histogram records lengths consistent with the profile's
+// single-phase distribution.
+func TestGeneratorTrueLengths(t *testing.T) {
+	p := Profile{
+		Name: "testonly", Suite: SPEC2006FP,
+		MeanGap: 1, ReadFrac: 1, FootprintLines: 1 << 20,
+		ActiveStreams: 2, DownFrac: 0, AccessesPerLine: 1,
+		Phases:       singlePhase(w16(2, 1), 0), // every stream length exactly 2
+		PhaseLenRefs: 1000,
+	}
+	g := MustGenerator(p, 8, 0)
+	for i := 0; i < 20000; i++ {
+		g.Next()
+	}
+	h := g.TrueLengths
+	if h.Total() == 0 {
+		t.Fatal("no streams completed")
+	}
+	// Nearly all completed streams are length 2 (footprint-edge
+	// truncation may very rarely shorten one).
+	if frac := h.Frac(2); frac < 0.999 {
+		t.Errorf("len-2 fraction = %v, want ~1.0 (hist %v)", frac, h)
+	}
+}
+
+func TestGeneratorStreamAdjacency(t *testing.T) {
+	// One active stream, one access per line, no hot set: the emitted
+	// line sequence must consist of runs of adjacent lines.
+	p := Profile{
+		Name: "adjacency", Suite: SPEC2006FP,
+		MeanGap: 0, ReadFrac: 1, FootprintLines: 1 << 20,
+		ActiveStreams: 1, DownFrac: 0, AccessesPerLine: 1,
+		Phases:       singlePhase(w16(4, 1), 0), // all streams length 4
+		PhaseLenRefs: 1000,
+	}
+	g := MustGenerator(p, 12, 0)
+	recs := trace.Collect(trace.Limit(g, 4000), 0)
+	adjacent := 0
+	for i := 1; i < len(recs); i++ {
+		if mem.LineOf(recs[i].Addr) == mem.LineOf(recs[i-1].Addr)+1 {
+			adjacent++
+		}
+	}
+	// Length-4 streams: 3 of every 4 transitions are adjacent.
+	frac := float64(adjacent) / float64(len(recs)-1)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("adjacent fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestGeneratorDownStreams(t *testing.T) {
+	p := Profile{
+		Name: "downward", Suite: SPEC2006FP,
+		MeanGap: 0, ReadFrac: 1, FootprintLines: 1 << 20,
+		ActiveStreams: 1, DownFrac: 1, AccessesPerLine: 1,
+		Phases:       singlePhase(w16(4, 1), 0),
+		PhaseLenRefs: 1000,
+	}
+	g := MustGenerator(p, 12, 0)
+	recs := trace.Collect(trace.Limit(g, 4000), 0)
+	down := 0
+	for i := 1; i < len(recs); i++ {
+		if mem.LineOf(recs[i].Addr) == mem.LineOf(recs[i-1].Addr)-1 {
+			down++
+		}
+	}
+	frac := float64(down) / float64(len(recs)-1)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("descending-adjacent fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestNewGeneratorRejectsInvalid(t *testing.T) {
+	if _, err := NewGenerator(Profile{}, 1, 0); err == nil {
+		t.Error("empty profile should be rejected")
+	}
+}
+
+func TestNewSuiteGenerators(t *testing.T) {
+	gens, err := NewSuiteGenerators(NAS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 8 {
+		t.Fatalf("got %d generators", len(gens))
+	}
+	if _, err := NewSuiteGenerators(Suite("bogus"), 1); err == nil {
+		t.Error("unknown suite should error")
+	}
+}
+
+// Property: generators never emit invalid records regardless of seed.
+func TestGeneratorPropertySeeds(t *testing.T) {
+	p, _ := ByName("notesbench")
+	f := func(seed uint64) bool {
+		g := MustGenerator(p, seed, 0)
+		for i := 0; i < 200; i++ {
+			r, ok := g.Next()
+			if !ok {
+				return false
+			}
+			if r.Op != trace.Load && r.Op != trace.Store {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileValidateErrors(t *testing.T) {
+	base := Profile{
+		Name: "x", MeanGap: 1, ReadFrac: 0.5, FootprintLines: 10,
+		ActiveStreams: 1, AccessesPerLine: 1,
+		Phases: singlePhase([]float64{1}, 0), PhaseLenRefs: 10,
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base should be valid: %v", err)
+	}
+	mut := func(f func(*Profile)) error {
+		p := base
+		p.Phases = singlePhase([]float64{1}, 0)
+		f(&p)
+		return p.Validate()
+	}
+	cases := map[string]func(*Profile){
+		"noname":    func(p *Profile) { p.Name = "" },
+		"gap":       func(p *Profile) { p.MeanGap = -1 },
+		"readfrac":  func(p *Profile) { p.ReadFrac = 1.5 },
+		"footprint": func(p *Profile) { p.FootprintLines = 0 },
+		"hotfrac":   func(p *Profile) { p.HotFrac = -0.1 },
+		"hotlines":  func(p *Profile) { p.HotFrac = 0.5; p.HotLines = 0 },
+		"streams":   func(p *Profile) { p.ActiveStreams = 0 },
+		"downfrac":  func(p *Profile) { p.DownFrac = 2 },
+		"accesses":  func(p *Profile) { p.AccessesPerLine = 0 },
+		"nophase":   func(p *Profile) { p.Phases = nil },
+		"phaselen":  func(p *Profile) { p.PhaseLenRefs = 0 },
+		"phaseWt":   func(p *Profile) { p.Phases[0].Weight = 0 },
+		"phaseSL":   func(p *Profile) { p.Phases[0].StreamLen = nil },
+	}
+	for name, f := range cases {
+		if err := mut(f); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	p, _ := ByName("GemsFDTD")
+	g := MustGenerator(p, 1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func TestRegisterCustomProfile(t *testing.T) {
+	p, _ := ByName("tpcc")
+	p.Name = "custom-test-profile"
+	if err := Register(p); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := ByName("custom-test-profile"); err != nil {
+		t.Errorf("registered profile not found: %v", err)
+	}
+	if err := Register(p); err == nil {
+		t.Error("duplicate Register should fail")
+	}
+	bad := p
+	bad.Name = ""
+	if err := Register(bad); err == nil {
+		t.Error("invalid profile should fail")
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(13)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn(%d) count %d out of expected band", v, c)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestDistSampleRange(t *testing.T) {
+	d := NewDist([]float64{1, 2, 3, 4}, 0)
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 1 || v > 4 {
+			t.Fatalf("Sample = %d outside [1,4]", v)
+		}
+	}
+}
+
+func TestDistSampleFrequencies(t *testing.T) {
+	d := NewDist([]float64{3, 1}, 0)
+	r := NewRNG(17)
+	var ones int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Errorf("P(1) = %v, want ~0.75", got)
+	}
+}
+
+func TestDistTailContinue(t *testing.T) {
+	// All mass on the final bucket with a strong tail: samples should
+	// regularly exceed the bucket count.
+	d := NewDist([]float64{0, 0, 0, 1}, 0.9)
+	r := NewRNG(23)
+	var over, sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		if v < 4 {
+			t.Fatalf("sample %d below final bucket", v)
+		}
+		if v > 4 {
+			over++
+		}
+		sum += v
+	}
+	if over < n/2 {
+		t.Errorf("tail rarely extended: %d/%d", over, n)
+	}
+	mean := float64(sum) / n
+	want := 4 + 0.9/0.1 // 13
+	if math.Abs(mean-want) > 0.5 {
+		t.Errorf("tail mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestDistMean(t *testing.T) {
+	d := NewDist([]float64{1, 1}, 0)
+	if m := d.Mean(); math.Abs(m-1.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 1.5", m)
+	}
+	dt := NewDist([]float64{0, 1}, 0.5)
+	if m := dt.Mean(); math.Abs(m-3) > 1e-12 { // 2 + 0.5/0.5
+		t.Errorf("tail Mean = %v, want 3", m)
+	}
+}
+
+func TestNewDistValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { NewDist(nil, 0) },
+		"zero":     func() { NewDist([]float64{0, 0}, 0) },
+		"negative": func() { NewDist([]float64{1, -1}, 0) },
+		"badTail":  func() { NewDist([]float64{1}, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
