@@ -22,6 +22,7 @@
 package asdsim
 
 import (
+	"context"
 	"fmt"
 
 	"asdsim/internal/sim"
@@ -77,6 +78,13 @@ func DefaultConfig(mode Mode, budget uint64) Config { return sim.Default(mode, b
 
 // Run simulates the named benchmark under cfg.
 func Run(bench string, cfg Config) (Result, error) { return sim.Run(bench, cfg) }
+
+// RunContext is Run with cancellation: the simulation polls ctx and
+// returns ctx.Err() (wrapped) if it is cancelled or its deadline
+// passes mid-run.
+func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
+	return sim.RunContext(ctx, bench, cfg)
+}
 
 // Benchmarks returns all registered benchmark names, sorted.
 func Benchmarks() []string { return workload.Names() }

@@ -1,0 +1,281 @@
+// Command asdfarm drives the batch simulation farm: it fans a
+// benchmark x mode matrix out across a bounded worker pool, either as
+// a one-shot batch (run) or as an HTTP daemon (serve).
+//
+// Usage:
+//
+//	asdfarm run [-suites s1,s2|-benchmarks b1,b2] [-modes NP,PS,MS,PMS]
+//	            [-engine asd|next-line|p5-style|ghb] [-threads N]
+//	            [-budget N] [-seed N] [-derive-seeds] [-workers N]
+//	            [-timeout D] [-retries N] [-out results.jsonl] [-quiet]
+//	asdfarm serve [-addr :8465] [-workers N] [-out results.jsonl]
+//
+// Batch mode prints a live progress meter, a per-benchmark gain table
+// (when NP/PS/MS/PMS all ran), and throughput totals. With -out,
+// results append to a JSON Lines file as they complete; rerunning with
+// the same -out resumes, skipping every run already on disk.
+//
+// Daemon mode exposes POST /jobs, GET /jobs, GET /jobs/{id},
+// DELETE /jobs/{id}, and GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"asdsim/internal/farm"
+	"asdsim/internal/report"
+	"asdsim/internal/sim"
+	"asdsim/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runBatch(os.Args[2:])
+	case "serve":
+		serve(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "asdfarm: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  asdfarm run   [flags]   run a benchmark x mode matrix to completion
+  asdfarm serve [flags]   serve the farm's HTTP job API
+run 'asdfarm run -h' or 'asdfarm serve -h' for flags`)
+}
+
+// csv splits a comma-separated flag value, dropping empties.
+func csv(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func runBatch(args []string) {
+	fs := flag.NewFlagSet("asdfarm run", flag.ExitOnError)
+	benchmarks := fs.String("benchmarks", "", "comma-separated benchmark names (empty: all, unless -suites given)")
+	suites := fs.String("suites", "", "comma-separated suites: spec2006fp, nas, commercial")
+	modes := fs.String("modes", "", "comma-separated configurations (default NP,PS,MS,PMS)")
+	engine := fs.String("engine", "asd", "memory-side engine: asd, next-line, p5-style, ghb")
+	threads := fs.Int("threads", 1, "SMT threads per run (1 or 2)")
+	budget := fs.Uint64("budget", 1_000_000, "instructions per thread per run")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	deriveSeeds := fs.Bool("derive-seeds", false, "give each matrix cell a decorrelated seed derived from -seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock limit (0: none)")
+	retries := fs.Int("retries", 1, "retries per failed run")
+	out := fs.String("out", "", "JSONL results file; enables persistence and resume")
+	quiet := fs.Bool("quiet", false, "suppress the progress meter")
+	fs.Parse(args)
+
+	m := farm.Matrix{
+		Benchmarks:  csv(*benchmarks),
+		Suites:      csv(*suites),
+		Modes:       csv(*modes),
+		Engine:      *engine,
+		Threads:     *threads,
+		Budget:      *budget,
+		Seed:        *seed,
+		DeriveSeeds: *deriveSeeds,
+		TimeoutSec:  timeout.Seconds(),
+		Retries:     *retries,
+	}
+	specs, err := m.Specs()
+	if err != nil {
+		fatal(err)
+	}
+
+	var store *farm.Store
+	if *out != "" {
+		if store, err = farm.OpenStore(*out); err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		if n := store.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "asdfarm: resuming: %d completed runs already in %s\n", n, *out)
+		}
+	}
+
+	pool := farm.New(farm.Options{Workers: *workers})
+	runMatrix(pool, specs, store, *quiet)
+}
+
+// runMatrix executes specs on pool, rendering progress and the final
+// report; it exits non-zero if any run failed.
+func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, quiet bool) {
+	defer pool.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	done, failed := 0, 0
+	onDone := func(o farm.Outcome) {
+		done++
+		if !o.OK() {
+			failed++
+			fmt.Fprintf(os.Stderr, "\nasdfarm: %s/%v failed after %d attempt(s): %s\n",
+				o.Benchmark, o.Mode, o.Attempts, o.Err)
+		}
+		if !quiet {
+			elapsed := time.Since(start).Seconds()
+			var rps float64
+			if elapsed > 0 {
+				rps = float64(done) / elapsed
+			}
+			report.Progress(os.Stderr, done, failed, len(specs), rps)
+		}
+	}
+	outcomes, err := pool.RunBatch(ctx, specs, store, onDone)
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "asdfarm: interrupted")
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	printReport(outcomes)
+	elapsed := time.Since(start)
+	snap := pool.Metrics().Snapshot()
+	fmt.Printf("\n%d runs (%d resumed, %d failed) on %d workers in %s — %.2f runs/s, %.0f Minstr/s simulated\n",
+		len(outcomes), snap.Resumed, failed, pool.Workers(), elapsed.Round(time.Millisecond),
+		float64(len(outcomes))/elapsed.Seconds(), snap.SimInstrPerSec/1e6)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// printReport renders per-run results grouped by benchmark, plus the
+// paper's gain comparisons when all four modes are present.
+func printReport(outcomes []farm.Outcome) {
+	byBench := map[string]map[sim.Mode]*farm.Outcome{}
+	var order []string
+	for i := range outcomes {
+		o := &outcomes[i]
+		if byBench[o.Benchmark] == nil {
+			byBench[o.Benchmark] = map[sim.Mode]*farm.Outcome{}
+			order = append(order, o.Benchmark)
+		}
+		byBench[o.Benchmark][o.Mode] = o
+	}
+	sort.Strings(order)
+
+	full := true
+	for _, b := range order {
+		for _, m := range []sim.Mode{sim.NP, sim.PS, sim.MS, sim.PMS} {
+			if o := byBench[b][m]; o == nil || !o.OK() {
+				full = false
+			}
+		}
+	}
+
+	if full {
+		t := report.NewTable("benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS")
+		var g1s, g2s, g3s []float64
+		for _, b := range order {
+			c := byBench[b]
+			gain := func(base, res *farm.Outcome) float64 {
+				return 100 * (float64(base.Result.Cycles)/float64(res.Result.Cycles) - 1)
+			}
+			g1 := gain(c[sim.NP], c[sim.PMS])
+			g2 := gain(c[sim.NP], c[sim.MS])
+			g3 := gain(c[sim.PS], c[sim.PMS])
+			g1s, g2s, g3s = append(g1s, g1), append(g2s, g2), append(g3s, g3)
+			t.AddRow(b, report.Pct(g1), report.Pct(g2), report.Pct(g3))
+		}
+		t.AddRow("Average", report.Pct(stats.Mean(g1s)), report.Pct(stats.Mean(g2s)), report.Pct(stats.Mean(g3s)))
+		t.Fprint(os.Stdout)
+		return
+	}
+
+	// Partial matrix: raw per-run rows.
+	t := report.NewTable("benchmark", "mode", "cycles", "IPC", "attempts", "wall")
+	for _, b := range order {
+		modes := make([]sim.Mode, 0, len(byBench[b]))
+		for m := range byBench[b] {
+			modes = append(modes, m)
+		}
+		sort.Slice(modes, func(i, j int) bool { return modes[i] < modes[j] })
+		for _, m := range modes {
+			o := byBench[b][m]
+			if o.OK() {
+				t.AddRow(b, m.String(), fmt.Sprint(o.Result.Cycles),
+					fmt.Sprintf("%.3f", o.Result.IPC), fmt.Sprint(o.Attempts),
+					fmt.Sprintf("%.0fms", o.WallMS))
+			} else {
+				t.AddRow(b, m.String(), "FAILED", "", fmt.Sprint(o.Attempts), "")
+			}
+		}
+	}
+	t.Fprint(os.Stdout)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("asdfarm serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8465", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	out := fs.String("out", "", "JSONL results file shared by every job (persistence + resume)")
+	fs.Parse(args)
+
+	var store *farm.Store
+	if *out != "" {
+		var err error
+		if store, err = farm.OpenStore(*out); err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+	pool := farm.New(farm.Options{Workers: *workers})
+	defer pool.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: farm.NewServer(pool, store).Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "asdfarm: serving on %s with %d workers\n", *addr, pool.Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asdfarm:", err)
+	os.Exit(1)
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style] [-v]
+//	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style|ghb] [-v]
 package main
 
 import (
@@ -21,7 +21,7 @@ func main() {
 	budget := flag.Uint64("budget", 1_000_000, "instructions per thread")
 	threads := flag.Int("threads", 1, "SMT threads (1 or 2)")
 	modes := flag.String("modes", "NP,PS,MS,PMS", "comma-separated configurations")
-	engine := flag.String("engine", "asd", "memory-side engine: asd, next-line, p5-style")
+	engine := flag.String("engine", "asd", "memory-side engine: asd, next-line, p5-style, ghb")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "print extended statistics")
 	flag.Parse()
@@ -36,14 +36,14 @@ func main() {
 
 	var baseline uint64
 	for _, ms := range strings.Split(*modes, ",") {
-		mode, err := parseMode(strings.TrimSpace(ms))
+		mode, err := sim.ParseMode(ms)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		cfg := sim.Default(mode, *budget)
 		cfg.Threads = *threads
-		cfg.Engine, err = parseEngine(*engine)
+		cfg.Engine, err = sim.ParseEngine(*engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -76,33 +76,5 @@ func main() {
 				fmt.Printf("     approxSLH: %v\n", res.ApproxLengths)
 			}
 		}
-	}
-}
-
-func parseMode(s string) (sim.Mode, error) {
-	switch strings.ToUpper(s) {
-	case "NP":
-		return sim.NP, nil
-	case "PS":
-		return sim.PS, nil
-	case "MS":
-		return sim.MS, nil
-	case "PMS":
-		return sim.PMS, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q", s)
-	}
-}
-
-func parseEngine(s string) (sim.EngineKind, error) {
-	switch strings.ToLower(s) {
-	case "asd":
-		return sim.EngineASD, nil
-	case "next-line", "nextline":
-		return sim.EngineNextLine, nil
-	case "p5-style", "p5style", "p5":
-		return sim.EngineP5Style, nil
-	default:
-		return 0, fmt.Errorf("unknown engine %q", s)
 	}
 }

@@ -29,12 +29,17 @@ func smt(e *env) {
 		c.InstrBudget = e.budget / 2
 	}
 	for _, suite := range []asdsim.Suite{asdsim.SPEC2006FP, asdsim.NAS, asdsim.Commercial} {
+		benches := asdsim.SuiteBenchmarks(suite)
+		var specs []runSpec
+		for _, b := range benches {
+			for _, m := range fourModes {
+				specs = append(specs, runSpec{b, m, smtCfg})
+			}
+		}
+		res := e.runAll(specs)
 		var pmsNP, msNP, pmsPS []float64
-		for _, b := range asdsim.SuiteBenchmarks(suite) {
-			np := e.mustRun(b, asdsim.NP, smtCfg)
-			ps := e.mustRun(b, asdsim.PS, smtCfg)
-			ms := e.mustRun(b, asdsim.MS, smtCfg)
-			pms := e.mustRun(b, asdsim.PMS, smtCfg)
+		for i := range benches {
+			np, ps, ms, pms := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
 			pmsNP = append(pmsNP, asdsim.Gain(np, pms))
 			msNP = append(msNP, asdsim.Gain(np, ms))
 			pmsPS = append(pmsPS, asdsim.Gain(ps, pms))
@@ -63,11 +68,15 @@ func schedInteraction(e *env) {
 			c.Threads = 2
 			c.InstrBudget = e.budget / 2
 		}
+		benches := asdsim.FocusBenchmarks()
+		var specs []runSpec
+		for _, b := range benches {
+			specs = append(specs, runSpec{b, asdsim.NP, mutate}, runSpec{b, asdsim.PMS, mutate})
+		}
+		res := e.runAll(specs)
 		var gains []float64
-		for _, b := range asdsim.FocusBenchmarks() {
-			np := e.mustRun(b, asdsim.NP, mutate)
-			pms := e.mustRun(b, asdsim.PMS, mutate)
-			gains = append(gains, asdsim.Gain(np, pms))
+		for i := range benches {
+			gains = append(gains, asdsim.Gain(res[i*2], res[i*2+1]))
 		}
 		g := stats.Mean(gains)
 		if k == mc.SchedAHB {
@@ -128,11 +137,19 @@ func multiline(e *env) {
 // prefetcher in the MC (the paper's related work [18]) compared against
 // ASD and next-line on the focus benchmarks.
 func ghb(e *env) {
+	benches := asdsim.FocusBenchmarks()
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs,
+			runSpec{bench: b, mode: asdsim.MS},
+			runSpec{b, asdsim.MS, func(c *asdsim.Config) { c.Engine = asdsim.EngineNextLine }},
+			runSpec{b, asdsim.MS, func(c *asdsim.Config) { c.Engine = asdsim.EngineGHB }})
+	}
+	res := e.runAll(specs)
+
 	t := report.NewTable("benchmark", "asd", "next-line", "ghb")
-	for _, b := range asdsim.FocusBenchmarks() {
-		base := e.mustRun(b, asdsim.MS, nil)
-		nl := e.mustRun(b, asdsim.MS, func(c *asdsim.Config) { c.Engine = asdsim.EngineNextLine })
-		gh := e.mustRun(b, asdsim.MS, func(c *asdsim.Config) { c.Engine = asdsim.EngineGHB })
+	for i, b := range benches {
+		base, nl, gh := res[i*3], res[i*3+1], res[i*3+2]
 		t.AddRow(b, "1.000",
 			fmt.Sprintf("%.3f", float64(nl.Cycles)/float64(base.Cycles)),
 			fmt.Sprintf("%.3f", float64(gh.Cycles)/float64(base.Cycles)))

@@ -1,39 +1,75 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"asdsim"
+	"asdsim/internal/farm"
 	"asdsim/internal/report"
 	"asdsim/internal/stats"
 )
 
-// mustRun runs one benchmark/mode or dies.
-func (e *env) mustRun(bench string, mode asdsim.Mode, mutate func(*asdsim.Config)) asdsim.Result {
-	cfg := asdsim.DefaultConfig(mode, e.budget)
-	cfg.Seed = e.seed
-	if mutate != nil {
-		mutate(&cfg)
+// runSpec names one simulation of a figure's matrix.
+type runSpec struct {
+	bench  string
+	mode   asdsim.Mode
+	mutate func(*asdsim.Config)
+}
+
+// runAll executes specs concurrently on the farm pool and returns the
+// results in spec order (identical to running them serially); any
+// failure is fatal.
+func (e *env) runAll(specs []runSpec) []asdsim.Result {
+	fs := make([]farm.Spec, len(specs))
+	for i, s := range specs {
+		cfg := asdsim.DefaultConfig(s.mode, e.budget)
+		cfg.Seed = e.seed
+		if s.mutate != nil {
+			s.mutate(&cfg)
+		}
+		fs[i] = farm.Spec{Benchmark: s.bench, Mode: cfg.Mode, Config: cfg}
 	}
-	res, err := asdsim.Run(bench, cfg)
+	outs, err := e.pool.RunBatch(context.Background(), fs, nil, nil)
 	if err != nil {
-		log.Fatalf("figures: %s/%v: %v", bench, mode, err)
+		log.Fatalf("figures: %v", err)
+	}
+	res := make([]asdsim.Result, len(outs))
+	for i, o := range outs {
+		if !o.OK() {
+			log.Fatalf("figures: %s/%v: %s", specs[i].bench, specs[i].mode, o.Err)
+		}
+		res[i] = *o.Result
 	}
 	return res
 }
 
+// mustRun runs one benchmark/mode or dies.
+func (e *env) mustRun(bench string, mode asdsim.Mode, mutate func(*asdsim.Config)) asdsim.Result {
+	return e.runAll([]runSpec{{bench, mode, mutate}})[0]
+}
+
+// fourModes is every gain table's per-benchmark matrix column order.
+var fourModes = []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS}
+
 // gainTable runs a suite under NP/PS/MS/PMS and prints the paper's three
 // comparisons per benchmark plus the suite averages.
 func (e *env) gainTable(suite asdsim.Suite, paperAvg [3]float64) {
+	benches := asdsim.SuiteBenchmarks(suite)
+	var specs []runSpec
+	for _, b := range benches {
+		for _, m := range fourModes {
+			specs = append(specs, runSpec{bench: b, mode: m})
+		}
+	}
+	res := e.runAll(specs)
+
 	t := report.NewTable("benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS")
 	var pmsNP, msNP, pmsPS []float64
-	for _, b := range asdsim.SuiteBenchmarks(suite) {
-		np := e.mustRun(b, asdsim.NP, nil)
-		ps := e.mustRun(b, asdsim.PS, nil)
-		ms := e.mustRun(b, asdsim.MS, nil)
-		pms := e.mustRun(b, asdsim.PMS, nil)
+	for i, b := range benches {
+		np, ps, ms, pms := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
 		g1 := asdsim.Gain(np, pms)
 		g2 := asdsim.Gain(np, ms)
 		g3 := asdsim.Gain(ps, pms)
@@ -103,11 +139,17 @@ func fig7(e *env) { e.gainTable(asdsim.Commercial, [3]float64{15.1, 9.3, 8.4}) }
 
 // powerTable compares PMS to PS on DRAM power and energy for a suite.
 func (e *env) powerTable(suite asdsim.Suite, paperPower, paperEnergy float64) {
+	benches := asdsim.SuiteBenchmarks(suite)
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs, runSpec{bench: b, mode: asdsim.PS}, runSpec{bench: b, mode: asdsim.PMS})
+	}
+	res := e.runAll(specs)
+
 	t := report.NewTable("benchmark", "power increase", "energy reduction")
 	var dp, de []float64
-	for _, b := range asdsim.SuiteBenchmarks(suite) {
-		ps := e.mustRun(b, asdsim.PS, nil)
-		pms := e.mustRun(b, asdsim.PMS, nil)
+	for i, b := range benches {
+		ps, pms := res[i*2], res[i*2+1]
 		powerInc := 100 * (pms.DRAM.AvgPowerWatts/ps.DRAM.AvgPowerWatts - 1)
 		energyRed := 100 * (1 - pms.DRAM.EnergyNJ/ps.DRAM.EnergyNJ)
 		dp = append(dp, powerInc)
@@ -124,27 +166,35 @@ func fig9(e *env)  { e.powerTable(asdsim.NAS, 1.6, 7.9) }
 func fig10(e *env) { e.powerTable(asdsim.Commercial, 2.8, 8.2) }
 
 func fig11(e *env) {
+	// Per benchmark: adaptive baseline, the five fixed policies, and the
+	// two baseline engines — eight runs, farmed out together.
+	const stride = 8
+	benches := asdsim.FocusBenchmarks()
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs, runSpec{bench: b, mode: asdsim.PMS})
+		for fix := 1; fix <= 5; fix++ {
+			fixed := fix
+			specs = append(specs, runSpec{b, asdsim.PMS, func(c *asdsim.Config) { c.Sched.Fixed = policy(fixed) }})
+		}
+		specs = append(specs,
+			runSpec{b, asdsim.PMS, func(c *asdsim.Config) { c.Engine = asdsim.EngineNextLine }},
+			runSpec{b, asdsim.PMS, func(c *asdsim.Config) { c.Engine = asdsim.EngineP5Style }})
+	}
+	res := e.runAll(specs)
+
 	cols := []string{"benchmark", "adaptive", "fix1", "fix2", "fix3", "fix4", "fix5", "next-line", "p5-style"}
 	t := report.NewTable(cols...)
 	sums := make([]float64, 8)
-	for _, b := range asdsim.FocusBenchmarks() {
-		base := e.mustRun(b, asdsim.PMS, nil)
+	for i, b := range benches {
+		base := res[i*stride]
 		row := []string{b, "1.000"}
-		norm := func(r asdsim.Result) string {
-			return fmt.Sprintf("%.3f", float64(r.Cycles)/float64(base.Cycles))
-		}
 		sums[0]++
-		for fix := 1; fix <= 5; fix++ {
-			fixed := fix
-			r := e.mustRun(b, asdsim.PMS, func(c *asdsim.Config) { c.Sched.Fixed = policy(fixed) })
-			row = append(row, norm(r))
-			sums[fix] += float64(r.Cycles) / float64(base.Cycles)
+		for v := 1; v < stride; v++ {
+			norm := float64(res[i*stride+v].Cycles) / float64(base.Cycles)
+			row = append(row, fmt.Sprintf("%.3f", norm))
+			sums[v] += norm
 		}
-		nl := e.mustRun(b, asdsim.PMS, func(c *asdsim.Config) { c.Engine = asdsim.EngineNextLine })
-		p5 := e.mustRun(b, asdsim.PMS, func(c *asdsim.Config) { c.Engine = asdsim.EngineP5Style })
-		row = append(row, norm(nl), norm(p5))
-		sums[6] += float64(nl.Cycles) / float64(base.Cycles)
-		sums[7] += float64(p5.Cycles) / float64(base.Cycles)
 		t.AddRow(row...)
 	}
 	n := float64(len(asdsim.FocusBenchmarks()))
@@ -160,9 +210,16 @@ func fig11(e *env) {
 }
 
 func fig12(e *env) {
+	benches := asdsim.FocusBenchmarks()
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs, runSpec{bench: b, mode: asdsim.MS})
+	}
+	results := e.runAll(specs)
+
 	t := report.NewTable("benchmark", "len1", "len2", "len3", "len4", "len5", "len1-5", "len2-5")
-	for _, b := range asdsim.FocusBenchmarks() {
-		res := e.mustRun(b, asdsim.MS, nil)
+	for i, b := range benches {
+		res := results[i]
 		// The paper's Fig. 12 histograms are measured by the same finite
 		// Stream Filter machinery, so the filter's view is the right
 		// comparison (fig16 quantifies its distance from ground truth).
@@ -188,9 +245,16 @@ func fig12(e *env) {
 }
 
 func fig13(e *env) {
+	benches := asdsim.FocusBenchmarks()
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs, runSpec{bench: b, mode: asdsim.PMS})
+	}
+	results := e.runAll(specs)
+
 	t := report.NewTable("benchmark", "useful prefetches", "coverage", "delayed regular")
-	for _, b := range asdsim.FocusBenchmarks() {
-		res := e.mustRun(b, asdsim.PMS, nil)
+	for i, b := range benches {
+		res := results[i]
 		t.AddRow(b, report.Frac(res.UsefulPrefetchFrac), report.Frac(res.Coverage), report.Frac(res.DelayedRegularFrac))
 	}
 	t.Fprint(os.Stdout)
@@ -200,17 +264,28 @@ func fig13(e *env) {
 // sensitivity prints performance (cycles of the default config divided by
 // cycles of the variant, so >1 means the variant is faster) for a sweep.
 func (e *env) sensitivity(label string, values []int, mutate func(*asdsim.Config, int)) {
+	benches := asdsim.FocusBenchmarks()
+	stride := 1 + len(values)
+	var specs []runSpec
+	for _, b := range benches {
+		specs = append(specs, runSpec{bench: b, mode: asdsim.PMS})
+		for _, v := range values {
+			val := v
+			specs = append(specs, runSpec{b, asdsim.PMS, func(c *asdsim.Config) { mutate(c, val) }})
+		}
+	}
+	res := e.runAll(specs)
+
 	header := []string{"benchmark"}
 	for _, v := range values {
 		header = append(header, fmt.Sprintf("%s=%d", label, v))
 	}
 	t := report.NewTable(header...)
-	for _, b := range asdsim.FocusBenchmarks() {
-		base := e.mustRun(b, asdsim.PMS, nil)
+	for i, b := range benches {
+		base := res[i*stride]
 		row := []string{b}
-		for _, v := range values {
-			val := v
-			r := e.mustRun(b, asdsim.PMS, func(c *asdsim.Config) { mutate(c, val) })
+		for j := range values {
+			r := res[i*stride+1+j]
 			row = append(row, fmt.Sprintf("%.3f", float64(base.Cycles)/float64(r.Cycles)))
 		}
 		t.AddRow(row...)

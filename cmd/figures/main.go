@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	figures [-budget N] [-seed N] <experiment>|all
+//	figures [-budget N] [-seed N] [-workers N] <experiment>|all
 //
 // Experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16 smt sched hwcost epoch multiline
+//
+// Each experiment's run matrix executes on the simulation farm
+// (internal/farm) with -workers concurrent simulations; results are
+// identical to a serial run at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+
+	"asdsim/internal/farm"
 )
 
 // experiment is one regenerable paper artifact.
@@ -25,10 +32,12 @@ type experiment struct {
 	run   func(*env)
 }
 
-// env carries shared run parameters.
+// env carries shared run parameters and the farm pool every
+// experiment's matrix executes on.
 type env struct {
 	budget uint64
 	seed   uint64
+	pool   *farm.Pool
 }
 
 var experiments = []experiment{
@@ -57,6 +66,7 @@ var experiments = []experiment{
 func main() {
 	budget := flag.Uint64("budget", 2_000_000, "instructions per thread per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -68,10 +78,12 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: figures [-budget N] [-seed N] <experiment>|all (see -list)")
+		fmt.Fprintln(os.Stderr, "usage: figures [-budget N] [-seed N] [-workers N] <experiment>|all (see -list)")
 		os.Exit(2)
 	}
-	e := &env{budget: *budget, seed: *seed}
+	pool := farm.New(farm.Options{Workers: *workers})
+	defer pool.Close()
+	e := &env{budget: *budget, seed: *seed, pool: pool}
 	if args[0] == "all" {
 		for _, ex := range experiments {
 			banner(ex)

@@ -1,0 +1,74 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"asdsim/internal/sim"
+)
+
+// A farm run of N jobs at workers=8 must produce byte-identical Result
+// JSON to the same jobs at workers=1 and to direct serial sim.Run
+// calls: simulations are pure functions of their spec, and the farm
+// must not perturb them.
+func TestParallelResultsBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var specs []Spec
+	for _, bench := range []string{"GemsFDTD", "milc", "tpcc"} {
+		for _, mode := range []sim.Mode{sim.NP, sim.PMS} {
+			cfg := sim.Default(mode, 60_000)
+			cfg.Seed = 7
+			specs = append(specs, Spec{Benchmark: bench, Mode: mode, Config: cfg})
+		}
+	}
+
+	// Ground truth: direct serial sim.Run calls.
+	serial := make([][]byte, len(specs))
+	for i, s := range specs {
+		res, err := sim.Run(s.Benchmark, s.Config)
+		if err != nil {
+			t.Fatalf("serial %s/%v: %v", s.Benchmark, s.Mode, err)
+		}
+		serial[i] = mustMarshal(t, &res)
+	}
+
+	for _, workers := range []int{1, 8} {
+		pool := New(Options{Workers: workers})
+		out, err := pool.RunBatch(context.Background(), specs, nil, nil)
+		pool.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, o := range out {
+			if !o.OK() {
+				t.Fatalf("workers=%d %s/%v failed: %s", workers, specs[i].Benchmark, specs[i].Mode, o.Err)
+			}
+			got := mustMarshal(t, o.Result)
+			if !bytes.Equal(got, serial[i]) {
+				t.Errorf("workers=%d %s/%v diverges from serial run:\n got %s\nwant %s",
+					workers, specs[i].Benchmark, specs[i].Mode, truncate(got), truncate(serial[i]))
+			}
+		}
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func truncate(b []byte) string {
+	if len(b) > 300 {
+		return fmt.Sprintf("%s... (%d bytes)", b[:300], len(b))
+	}
+	return string(b)
+}

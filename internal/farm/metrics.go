@@ -1,0 +1,92 @@
+package farm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the farm's live counters. All fields are updated
+// atomically; a Metrics may be shared between a Pool and an HTTP
+// /metrics endpoint without locking.
+type Metrics struct {
+	workers atomic.Int64
+	start   atomic.Int64 // UnixNano of pool creation
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	retried   atomic.Uint64
+	resumed   atomic.Uint64
+
+	busy   atomic.Int64
+	queued atomic.Int64
+
+	// Aggregate simulated work, for cycles/sec-style throughput.
+	simInstructions atomic.Uint64
+	simCycles       atomic.Uint64
+}
+
+// NewMetrics returns a zeroed metrics block stamped with the current
+// time.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.start.Store(time.Now().UnixNano())
+	return m
+}
+
+func (m *Metrics) setWorkers(n int) { m.workers.Store(int64(n)) }
+
+// finish records one terminal outcome.
+func (m *Metrics) finish(o *Outcome) {
+	if o.OK() {
+		m.completed.Add(1)
+		m.simInstructions.Add(o.Result.Instructions)
+		m.simCycles.Add(o.Result.Cycles)
+	} else {
+		m.failed.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time view of the farm, shaped for JSON.
+type Snapshot struct {
+	Workers           int     `json:"workers"`
+	BusyWorkers       int     `json:"busy_workers"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+	QueueDepth        int     `json:"queue_depth"`
+	Submitted         uint64  `json:"submitted"`
+	Completed         uint64  `json:"completed"`
+	Failed            uint64  `json:"failed"`
+	Retried           uint64  `json:"retried"`
+	Resumed           uint64  `json:"resumed"`
+	UptimeSec         float64 `json:"uptime_sec"`
+	RunsPerSec        float64 `json:"runs_per_sec"`
+	SimInstructions   uint64  `json:"sim_instructions"`
+	SimCycles         uint64  `json:"sim_cycles"`
+	SimInstrPerSec    float64 `json:"sim_instr_per_sec"`
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Workers:         int(m.workers.Load()),
+		BusyWorkers:     int(m.busy.Load()),
+		QueueDepth:      int(m.queued.Load()),
+		Submitted:       m.submitted.Load(),
+		Completed:       m.completed.Load(),
+		Failed:          m.failed.Load(),
+		Retried:         m.retried.Load(),
+		Resumed:         m.resumed.Load(),
+		SimInstructions: m.simInstructions.Load(),
+		SimCycles:       m.simCycles.Load(),
+	}
+	if s.Workers > 0 {
+		s.WorkerUtilization = float64(s.BusyWorkers) / float64(s.Workers)
+	}
+	elapsed := time.Since(time.Unix(0, m.start.Load())).Seconds()
+	if elapsed > 0 {
+		s.UptimeSec = elapsed
+		s.RunsPerSec = float64(s.Completed) / elapsed
+		s.SimInstrPerSec = float64(s.SimInstructions) / elapsed
+	}
+	return s
+}

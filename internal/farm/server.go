@@ -1,0 +1,265 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"asdsim/internal/sim"
+)
+
+// Server exposes a Pool over HTTP:
+//
+//	POST   /jobs       submit a Matrix; returns {"id": ..., "runs": N}
+//	GET    /jobs       list job summaries
+//	GET    /jobs/{id}  job status, aggregated gains, per-run results
+//	DELETE /jobs/{id}  cancel a running job
+//	GET    /metrics    pool counters (queue depth, utilization, runs/sec)
+//
+// A non-nil store gives every submitted job resume-from-partial-results
+// against the same JSONL file the CLI writes.
+type Server struct {
+	pool  *Pool
+	store *Store
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*serverJob
+}
+
+// serverJob tracks one submitted matrix through the pool.
+type serverJob struct {
+	id     string
+	specs  []Spec
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	outcomes []Outcome // completion order
+	state    string    // "running", "done", "cancelled"
+	started  time.Time
+	finished time.Time
+}
+
+// NewServer wraps pool (and an optional store) in an HTTP API.
+func NewServer(pool *Pool, store *Store) *Server {
+	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob)}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var m Matrix
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode matrix: %w", err))
+		return
+	}
+	specs, err := m.Specs()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &serverJob{specs: specs, cancel: cancel, state: "running", started: time.Now()}
+
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("job-%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		s.pool.RunBatch(ctx, specs, s.store, func(o Outcome) {
+			j.mu.Lock()
+			j.outcomes = append(j.outcomes, o)
+			j.mu.Unlock()
+		})
+		j.mu.Lock()
+		if j.state == "running" {
+			j.state = "done"
+		}
+		j.finished = time.Now()
+		j.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.id, "runs": len(specs)})
+}
+
+// jobSummary is the wire form of a job's progress.
+type jobSummary struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Total      int     `json:"total"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Resumed    int     `json:"resumed"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+func (j *serverJob) summary() jobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sum := jobSummary{ID: j.id, State: j.state, Total: len(j.specs), Done: len(j.outcomes)}
+	for i := range j.outcomes {
+		if !j.outcomes[i].OK() {
+			sum.Failed++
+		}
+		if j.outcomes[i].Resumed {
+			sum.Resumed++
+		}
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	sum.ElapsedSec = end.Sub(j.started).Seconds()
+	return sum
+}
+
+func (s *Server) job(id string) *serverJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*serverJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sums := make([]jobSummary, len(jobs))
+	for i, j := range jobs {
+		sums[i] = j.summary()
+	}
+	sort.Slice(sums, func(a, b int) bool { return sums[a].ID < sums[b].ID })
+	writeJSON(w, http.StatusOK, sums)
+}
+
+// runView is one run's compact result row.
+type runView struct {
+	Benchmark string  `json:"benchmark"`
+	Mode      string  `json:"mode"`
+	Cycles    uint64  `json:"cycles,omitempty"`
+	IPC       float64 `json:"ipc,omitempty"`
+	Attempts  int     `json:"attempts"`
+	WallMS    float64 `json:"wall_ms"`
+	Resumed   bool    `json:"resumed,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// benchGains aggregates one benchmark's paper comparisons, present when
+// the needed modes completed.
+type benchGains struct {
+	Benchmark string   `json:"benchmark"`
+	PMSvsNP   *float64 `json:"pms_vs_np_pct,omitempty"`
+	MSvsNP    *float64 `json:"ms_vs_np_pct,omitempty"`
+	PMSvsPS   *float64 `json:"pms_vs_ps_pct,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	outcomes := append([]Outcome(nil), j.outcomes...)
+	j.mu.Unlock()
+
+	runs := make([]runView, len(outcomes))
+	cycles := map[string]map[sim.Mode]uint64{}
+	for i, o := range outcomes {
+		runs[i] = runView{Benchmark: o.Benchmark, Mode: o.Mode.String(),
+			Attempts: o.Attempts, WallMS: o.WallMS, Resumed: o.Resumed, Error: o.Err}
+		if o.OK() {
+			runs[i].Cycles = o.Result.Cycles
+			runs[i].IPC = o.Result.IPC
+			if cycles[o.Benchmark] == nil {
+				cycles[o.Benchmark] = map[sim.Mode]uint64{}
+			}
+			cycles[o.Benchmark][o.Mode] = o.Result.Cycles
+		}
+	}
+	sort.Slice(runs, func(a, b int) bool {
+		if runs[a].Benchmark != runs[b].Benchmark {
+			return runs[a].Benchmark < runs[b].Benchmark
+		}
+		return runs[a].Mode < runs[b].Mode
+	})
+
+	gain := func(base, res uint64) *float64 {
+		if base == 0 || res == 0 {
+			return nil
+		}
+		g := 100 * (float64(base)/float64(res) - 1)
+		return &g
+	}
+	benches := make([]string, 0, len(cycles))
+	for b := range cycles {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	gains := make([]benchGains, 0, len(benches))
+	for _, b := range benches {
+		c := cycles[b]
+		g := benchGains{Benchmark: b,
+			PMSvsNP: gain(c[sim.NP], c[sim.PMS]),
+			MSvsNP:  gain(c[sim.NP], c[sim.MS]),
+			PMSvsPS: gain(c[sim.PS], c[sim.PMS])}
+		if g.PMSvsNP != nil || g.MSvsNP != nil || g.PMSvsPS != nil {
+			gains = append(gains, g)
+		}
+	}
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":   j.summary(),
+		"gains": gains,
+		"runs":  runs,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	if j.state == "running" {
+		j.state = "cancelled"
+	}
+	j.mu.Unlock()
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.summary())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Metrics().Snapshot())
+}

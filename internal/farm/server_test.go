@@ -1,0 +1,201 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"asdsim/internal/sim"
+)
+
+// startTestServer wires a stub-backed pool into an httptest server.
+func startTestServer(t *testing.T, run RunFunc) *httptest.Server {
+	t.Helper()
+	pool := New(Options{Workers: 4, Backoff: time.Millisecond, Run: run})
+	srv := httptest.NewServer(NewServer(pool, nil).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		pool.Close()
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// Submit a matrix, poll to completion, and check status, aggregated
+// gains and metrics.
+func TestServerJobLifecycle(t *testing.T) {
+	// NP is slower than PMS so the aggregate gain is positive and
+	// deterministic: NP 2000 cycles, PS 1500, MS 1200, PMS 1000.
+	cyclesByMode := map[sim.Mode]uint64{sim.NP: 2000, sim.PS: 1500, sim.MS: 1200, sim.PMS: 1000}
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		c := cyclesByMode[s.Mode]
+		return sim.Result{Cycles: c, Instructions: 2 * c, IPC: 2}, nil
+	})
+
+	resp := postJSON(t, srv.URL+"/jobs", Matrix{
+		Benchmarks: []string{"GemsFDTD", "milc"}, Budget: 5000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	sub := decode[map[string]any](t, resp)
+	id, _ := sub["id"].(string)
+	if id == "" || sub["runs"].(float64) != 8 {
+		t.Fatalf("submit response %v", sub)
+	}
+
+	type status struct {
+		Job   jobSummary   `json:"job"`
+		Gains []benchGains `json:"gains"`
+		Runs  []runView    `json:"runs"`
+	}
+	var st status
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = decode[status](t, r)
+		if st.Job.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", st.Job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Job.Total != 8 || st.Job.Done != 8 || st.Job.Failed != 0 {
+		t.Fatalf("summary %+v", st.Job)
+	}
+	if len(st.Gains) != 2 {
+		t.Fatalf("gains for %d benchmarks, want 2", len(st.Gains))
+	}
+	for _, g := range st.Gains {
+		if g.PMSvsNP == nil || *g.PMSvsNP < 99 || *g.PMSvsNP > 101 {
+			t.Errorf("%s PMS-vs-NP = %v, want ~100%%", g.Benchmark, g.PMSvsNP)
+		}
+	}
+	if len(st.Runs) != 8 || st.Runs[0].Benchmark != "GemsFDTD" {
+		t.Errorf("runs misshapen: %d rows", len(st.Runs))
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[Snapshot](t, mresp)
+	if m.Completed != 8 || m.Workers != 4 {
+		t.Errorf("metrics %+v", m)
+	}
+
+	lresp, err := http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]jobSummary](t, lresp)
+	if len(list) != 1 || list[0].ID != id {
+		t.Errorf("job list %+v", list)
+	}
+}
+
+// Bad requests and unknown jobs get proper status codes.
+func TestServerErrors(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+
+	resp := postJSON(t, srv.URL+"/jobs", Matrix{Benchmarks: []string{"no-such-bench"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown benchmark: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// Cancelling a running job stops it without finishing the matrix.
+func TestServerCancel(t *testing.T) {
+	release := make(chan struct{})
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		case <-release:
+			return fakeResult(1), nil
+		}
+	})
+
+	resp := postJSON(t, srv.URL+"/jobs", Matrix{Benchmarks: []string{"GemsFDTD"}})
+	sub := decode[map[string]any](t, resp)
+	id := sub["id"].(string)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := decode[jobSummary](t, dresp)
+	if sum.State != "cancelled" {
+		t.Fatalf("state = %q, want cancelled", sum.State)
+	}
+	close(release)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[map[string]any](t, r)
+		job := st["job"].(map[string]any)
+		if job["done"].(float64) == job["total"].(float64) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(fmt.Sprintf("cancelled job never drained: %v", job))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

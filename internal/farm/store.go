@@ -1,0 +1,114 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store persists outcomes as JSON Lines, one outcome per line, and
+// indexes what is already on disk so an interrupted batch resumes from
+// its partial results. Lines land in completion order; identity is the
+// spec key, not the position. Failed outcomes are recorded for
+// post-mortem but are not served on resume — a rerun retries them.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	done map[string]Outcome // successful outcomes by Spec.Key()
+	n    int                // total lines loaded + appended
+}
+
+// OpenStore opens (creating if absent) the JSONL file at path and
+// loads its existing outcomes. A truncated final line — a crash
+// mid-append — is tolerated and dropped; corruption anywhere else is an
+// error.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, done: make(map[string]Outcome)}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("farm: open store: %w", err)
+	}
+	lines := bytes.Split(data, []byte{'\n'})
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var o Outcome
+		if err := json.Unmarshal(line, &o); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail from an interrupted write
+			}
+			return nil, fmt.Errorf("farm: %s line %d: %w", path, i+1, err)
+		}
+		s.n++
+		if o.OK() {
+			s.done[o.Key] = o
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: open store: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns how many outcomes the store holds (loaded + appended).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Completed returns how many successful outcomes are available for
+// resume.
+func (s *Store) Completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.done)
+}
+
+// Lookup returns the persisted successful outcome for a spec key.
+func (s *Store) Lookup(key string) (Outcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.done[key]
+	return o, ok
+}
+
+// Append writes one outcome as a JSONL line and indexes it.
+func (s *Store) Append(o Outcome) error {
+	data, err := json.Marshal(o)
+	if err != nil {
+		return fmt.Errorf("farm: marshal outcome: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := bufio.NewWriter(s.f)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("farm: append outcome: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("farm: append outcome: %w", err)
+	}
+	s.n++
+	if o.OK() {
+		s.done[o.Key] = o
+	}
+	return nil
+}
+
+// Close releases the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

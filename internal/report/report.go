@@ -107,6 +107,25 @@ func Histogram(w io.Writer, title string, h *stats.Histogram, barWidth int) {
 	}
 }
 
+// Progress renders a one-line, in-place progress meter for batch runs:
+// a bar, done/total counts, failures and throughput. Callers re-invoke
+// it as counts change and print a final newline themselves.
+func Progress(w io.Writer, done, failed, total int, runsPerSec float64) {
+	const width = 30
+	filled := 0
+	if total > 0 {
+		filled = done * width / total
+	}
+	fmt.Fprintf(w, "\r[%-*s] %d/%d", width, strings.Repeat("=", filled), done, total)
+	if failed > 0 {
+		fmt.Fprintf(w, " (%d failed)", failed)
+	}
+	if runsPerSec > 0 {
+		fmt.Fprintf(w, " %.1f runs/s", runsPerSec)
+	}
+	fmt.Fprint(w, "   ")
+}
+
 // Pct formats a ratio as a signed percentage with one decimal.
 func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", x) }
 

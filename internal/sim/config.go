@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"asdsim/internal/cache"
 	"asdsim/internal/core"
@@ -127,11 +128,47 @@ func Default(mode Mode, budget uint64) Config {
 	}
 }
 
+// ParseMode parses a configuration name ("NP", "PS", "MS", "PMS",
+// case-insensitive) into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "NP":
+		return NP, nil
+	case "PS":
+		return PS, nil
+	case "MS":
+		return MS, nil
+	case "PMS":
+		return PMS, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown mode %q (want NP, PS, MS or PMS)", s)
+	}
+}
+
+// ParseEngine parses a memory-side engine name ("asd", "next-line",
+// "p5-style", "ghb") into an EngineKind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "asd", "":
+		return EngineASD, nil
+	case "next-line", "nextline":
+		return EngineNextLine, nil
+	case "p5-style", "p5style", "p5":
+		return EngineP5Style, nil
+	case "ghb":
+		return EngineGHB, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (want asd, next-line, p5-style or ghb)", s)
+	}
+}
+
 // Validate reports the first problem with the configuration.
 func (c *Config) Validate() error {
 	switch {
 	case c.Mode < NP || c.Mode > PMS:
 		return fmt.Errorf("sim: invalid mode %d", int(c.Mode))
+	case c.Engine < EngineASD || c.Engine > EngineGHB:
+		return fmt.Errorf("sim: invalid engine kind %d", int(c.Engine))
 	case c.Threads < 1 || c.Threads > 2:
 		return fmt.Errorf("sim: Threads must be 1 or 2, got %d", c.Threads)
 	case c.InstrBudget == 0:

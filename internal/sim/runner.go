@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"asdsim/internal/cache"
@@ -109,8 +111,24 @@ type runner struct {
 // flight.
 const maxPSOutstanding = 16
 
+// ErrDeadlock reports that the simulated memory system reached a state
+// where a thread waits on a line that can never arrive — a model bug or
+// an inconsistent configuration, never a transient condition.
+var ErrDeadlock = errors.New("sim: memory-system deadlock")
+
+// ctxCheckInterval is how many loop iterations pass between context
+// cancellation checks; a power of two so the check compiles to a mask.
+const ctxCheckInterval = 1024
+
 // Run simulates benchmark bench under cfg and returns the results.
 func Run(bench string, cfg Config) (Result, error) {
+	return RunContext(context.Background(), bench, cfg)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx between
+// event-loop iterations and aborts promptly with ctx's error when it is
+// cancelled or its deadline passes.
+func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -118,7 +136,9 @@ func Run(bench string, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	r.loop()
+	if err := r.loop(ctx); err != nil {
+		return Result{}, err
+	}
 	return r.collect(bench), nil
 }
 
@@ -127,6 +147,11 @@ func Run(bench string, cfg Config) (Result, error) {
 // cmd/tracegen or collected externally. Ground-truth stream statistics
 // (Result.TrueLengths) are unavailable in this mode.
 func RunTrace(name string, sources []trace.Source, cfg Config) (Result, error) {
+	return RunTraceContext(context.Background(), name, sources, cfg)
+}
+
+// RunTraceContext is RunTrace with cancellation.
+func RunTraceContext(ctx context.Context, name string, sources []trace.Source, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -141,7 +166,9 @@ func RunTrace(name string, sources []trace.Source, cfg Config) (Result, error) {
 			BudgetInstructions: cfg.InstrBudget,
 		}))
 	}
-	r.loop()
+	if err := r.loop(ctx); err != nil {
+		return Result{}, err
+	}
 	return r.collect(name), nil
 }
 
@@ -206,9 +233,21 @@ func newEngine(cfg Config) prefetch.MSEngine {
 	}
 }
 
-// loop runs all threads to completion and drains the memory system.
-func (r *runner) loop() {
+// loop runs all threads to completion and drains the memory system. It
+// returns ctx's error when cancelled mid-run, or a model-invariant error
+// (e.g. ErrDeadlock) instead of crashing the process, so one bad
+// configuration cannot take down a whole batch.
+func (r *runner) loop(ctx context.Context) error {
+	done := ctx.Done()
+	var tick uint
 	for {
+		if tick++; done != nil && tick%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		th := r.pickRunnable()
 		if th == nil {
 			break // all threads finished
@@ -216,9 +255,11 @@ func (r *runner) loop() {
 		if b := th.BlockedOn(); b != nil {
 			f := r.flights[b.Line]
 			if f == nil {
-				panic(fmt.Sprintf("sim: thread %d blocked on line %d with no flight", th.ID, b.Line))
+				return fmt.Errorf("%w: thread %d blocked on line %d with no flight", ErrDeadlock, th.ID, b.Line)
 			}
-			r.stepUntilFlightDone(f)
+			if err := r.stepUntilFlightDone(ctx, f); err != nil {
+				return err
+			}
 			th.Resume(f.doneAt)
 			continue
 		}
@@ -235,9 +276,17 @@ func (r *runner) loop() {
 	// satisfy a policy that waits for queue conditions.
 	r.ctrl.FlushLPQ()
 	for r.ctrl.Busy() {
+		if tick++; done != nil && tick%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		r.mcNow += mem.CPUCyclesPerMCCycle
 		r.ctrl.Step(r.mcNow)
 	}
+	return nil
 }
 
 // pickRunnable returns the unfinished thread with the smallest clock that
@@ -294,10 +343,19 @@ func (r *runner) stepMCTo(target uint64) {
 }
 
 // stepUntilFlightDone advances the MC until flight f completes.
-func (r *runner) stepUntilFlightDone(f *flight) {
+func (r *runner) stepUntilFlightDone(ctx context.Context, f *flight) error {
+	done := ctx.Done()
+	var tick uint
 	for !f.done {
+		if tick++; done != nil && tick%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		if !r.ctrl.Busy() {
-			panic(fmt.Sprintf("sim: deadlock waiting for line %d", f.line))
+			return fmt.Errorf("%w: waiting for line %d with idle memory controller", ErrDeadlock, f.line)
 		}
 		wake := r.ctrl.NextWake(r.mcNow)
 		next := r.mcNow + mem.CPUCyclesPerMCCycle
@@ -310,6 +368,7 @@ func (r *runner) stepUntilFlightDone(f *flight) {
 		r.mcNow = next
 		r.ctrl.Step(r.mcNow)
 	}
+	return nil
 }
 
 // execute resolves one trace record for thread th.

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(5)
+	h.Observe(1)
+	h.ObserveN(3, 7)
+	h.Observe(9) // clamps into the final bucket
+
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"buckets":[1,0,7,0,1]}`
+	if string(data) != want {
+		t.Fatalf("marshal = %s, want %s", data, want)
+	}
+
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != h.Total() || back.Buckets() != h.Buckets() {
+		t.Fatalf("round trip lost shape: total=%d buckets=%d", back.Total(), back.Buckets())
+	}
+	for v := 1; v <= 5; v++ {
+		if back.Count(v) != h.Count(v) {
+			t.Errorf("bucket %d: got %d want %d", v, back.Count(v), h.Count(v))
+		}
+	}
+}
+
+func TestHistogramUnmarshalRejectsEmpty(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"buckets":[]}`), &h); err == nil {
+		t.Fatal("expected error for empty bucket list")
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -148,6 +149,36 @@ func (h *Histogram) L1Distance(o *Histogram) float64 {
 		d += math.Abs(av - bv)
 	}
 	return d
+}
+
+// histogramWire is the JSON form of Histogram; total is derived from
+// the buckets on decode, so only the buckets travel.
+type histogramWire struct {
+	Buckets []uint64 `json:"buckets"`
+}
+
+// MarshalJSON implements json.Marshaler, so results embedding
+// histograms persist faithfully (the zero-value struct would otherwise
+// serialize as "{}" and silently drop the data).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramWire{Buckets: h.buckets})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) == 0 {
+		return fmt.Errorf("stats: histogram needs at least 1 bucket")
+	}
+	h.buckets = w.Buckets
+	h.total = 0
+	for _, b := range w.Buckets {
+		h.total += b
+	}
+	return nil
 }
 
 // String renders the histogram as "v:count" pairs for debugging.
