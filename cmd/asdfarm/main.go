@@ -176,6 +176,25 @@ func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, quiet bool
 	}
 }
 
+// wallSeconds returns an outcome's host duration: the Result's
+// wall-clock when the run happened in this process, else the stored
+// per-run WallMS (resumed outcomes carry only the persisted fields).
+func wallSeconds(o *farm.Outcome) float64 {
+	if o.Result.WallSeconds > 0 {
+		return o.Result.WallSeconds
+	}
+	return o.WallMS / 1e3
+}
+
+func fmtWall(sec float64) string { return fmt.Sprintf("%.2fs", sec) }
+
+func fmtRate(cycles, sec float64) string {
+	if sec <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", cycles/sec/1e6)
+}
+
 // printReport renders per-run results grouped by benchmark, plus the
 // paper's gain comparisons when all four modes are present.
 func printReport(outcomes []farm.Outcome) {
@@ -201,8 +220,9 @@ func printReport(outcomes []farm.Outcome) {
 	}
 
 	if full {
-		t := report.NewTable("benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS")
+		t := report.NewTable("benchmark", "PMS vs NP", "MS vs NP", "PMS vs PS", "wall", "Mcyc/s")
 		var g1s, g2s, g3s []float64
+		var totalWall, totalCycles float64
 		for _, b := range order {
 			c := byBench[b]
 			gain := func(base, res *farm.Outcome) float64 {
@@ -212,9 +232,18 @@ func printReport(outcomes []farm.Outcome) {
 			g2 := gain(c[sim.NP], c[sim.MS])
 			g3 := gain(c[sim.PS], c[sim.PMS])
 			g1s, g2s, g3s = append(g1s, g1), append(g2s, g2), append(g3s, g3)
-			t.AddRow(b, report.Pct(g1), report.Pct(g2), report.Pct(g3))
+			var wall, cycles float64
+			for _, m := range []sim.Mode{sim.NP, sim.PS, sim.MS, sim.PMS} {
+				wall += wallSeconds(c[m])
+				cycles += float64(c[m].Result.Cycles)
+			}
+			totalWall += wall
+			totalCycles += cycles
+			t.AddRow(b, report.Pct(g1), report.Pct(g2), report.Pct(g3),
+				fmtWall(wall), fmtRate(cycles, wall))
 		}
-		t.AddRow("Average", report.Pct(stats.Mean(g1s)), report.Pct(stats.Mean(g2s)), report.Pct(stats.Mean(g3s)))
+		t.AddRow("Average", report.Pct(stats.Mean(g1s)), report.Pct(stats.Mean(g2s)), report.Pct(stats.Mean(g3s)),
+			fmtWall(totalWall), fmtRate(totalCycles, totalWall))
 		t.Fprint(os.Stdout)
 		return
 	}
@@ -246,6 +275,7 @@ func serve(args []string) {
 	addr := fs.String("addr", ":8465", "listen address")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	out := fs.String("out", "", "JSONL results file shared by every job (persistence + resume)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	fs.Parse(args)
 
 	var store *farm.Store
@@ -259,7 +289,11 @@ func serve(args []string) {
 	pool := farm.New(farm.Options{Workers: *workers})
 	defer pool.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: farm.NewServer(pool, store).Handler()}
+	api := farm.NewServer(pool, store)
+	if *pprofOn {
+		api.EnablePprof()
+	}
+	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

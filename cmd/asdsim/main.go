@@ -4,19 +4,34 @@
 // Usage:
 //
 //	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style|ghb] [-v]
+//	       [-obs] [-obs-interval N] [-obs-csv file] [-trace file]
+//	       [-cpuprofile file] [-memprofile file]
+//
+// Observability: -obs attaches the probe bus and prints per-mode
+// time-series and per-depth prefetch summaries; -obs-csv writes the
+// windowed samples as CSV; -trace writes a Chrome trace-event JSON file
+// (open it in chrome://tracing or https://ui.perfetto.dev) with one
+// process group per simulated mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"asdsim/internal/obs"
 	"asdsim/internal/sim"
 	"asdsim/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main body so deferred profile/file teardown runs
+// before the process exits (os.Exit skips defers).
+func run() int {
 	bench := flag.String("bench", "GemsFDTD", "benchmark name (see -list)")
 	budget := flag.Uint64("budget", 1_000_000, "instructions per thread")
 	threads := flag.Int("threads", 1, "SMT threads (1 or 2)")
@@ -24,6 +39,12 @@ func main() {
 	engine := flag.String("engine", "asd", "memory-side engine: asd, next-line, p5-style, ghb")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "print extended statistics")
+	obsOn := flag.Bool("obs", false, "attach the probe bus and print time-series/per-depth summaries")
+	obsInterval := flag.Uint64("obs-interval", obs.DefaultSampleInterval, "sampler window width in CPU cycles")
+	obsCSV := flag.String("obs-csv", "", "write windowed samples as CSV to `file` (implies -obs)")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to `file` (implies -obs)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	flag.Parse()
 
 	if *list {
@@ -31,33 +52,85 @@ func main() {
 			p, _ := workload.ByName(n)
 			fmt.Printf("%-12s %s\n", n, p.Suite)
 		}
-		return
+		return 0
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	observing := *obsOn || *obsCSV != "" || *tracePath != ""
+	var tracer *obs.TraceBuilder
+	if *tracePath != "" {
+		tracer = obs.NewTraceBuilder()
+	}
+	var csvFile *os.File
+	if *obsCSV != "" {
+		f, err := os.Create(*obsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		csvFile = f
+		if err := obs.CSVHeader(csvFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	exit := 0
 	var baseline uint64
 	for _, ms := range strings.Split(*modes, ",") {
 		mode, err := sim.ParseMode(ms)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		cfg := sim.Default(mode, *budget)
 		cfg.Threads = *threads
 		cfg.Engine, err = sim.ParseEngine(*engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
+
+		var sampler *obs.Sampler
+		var depths *obs.DepthStats
+		if observing {
+			bus := obs.NewBus()
+			sampler = obs.NewSampler(*obsInterval)
+			depths = &obs.DepthStats{}
+			bus.Attach(sampler)
+			bus.Attach(depths)
+			if tracer != nil {
+				tracer.StartProcess(fmt.Sprintf("%s %s", *bench, mode))
+				bus.Attach(tracer)
+			}
+			cfg.Obs = bus
+		}
+
 		res, err := sim.Run(*bench, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if baseline == 0 {
 			baseline = res.Cycles
 		}
 		gain := 100 * (float64(baseline)/float64(res.Cycles) - 1)
-		fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-vs-first=%+.1f%%\n", mode, res.Cycles, res.IPC, gain)
+		fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-vs-first=%+.1f%% wall=%.3fs (%.1fM cyc/s)\n",
+			mode, res.Cycles, res.IPC, gain, res.WallSeconds, res.CyclesPerSec/1e6)
 		if *verbose {
 			fmt.Printf("     L1=%.3f L2=%.3f L3=%.3f | MC reads=%d writes=%d dramR=%d dramW=%d\n",
 				res.L1HitRate, res.L2HitRate, res.L3HitRate,
@@ -76,5 +149,118 @@ func main() {
 				fmt.Printf("     approxSLH: %v\n", res.ApproxLengths)
 			}
 		}
+		if sampler != nil {
+			printObsSummary(sampler, depths)
+			if csvFile != nil {
+				if err := sampler.WriteCSV(csvFile, fmt.Sprintf("%s/%s", *bench, mode)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					exit = 1
+				}
+			}
+		}
 	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		err = tracer.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			tracer.Len(), *tracePath)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	return exit
+}
+
+// printObsSummary condenses the sampler's windows into a small table:
+// CAQ occupancy over time (coarse sparkline over up to 60 buckets) and
+// the per-depth prefetch breakdown.
+func printObsSummary(s *obs.Sampler, d *obs.DepthStats) {
+	samples := s.Samples()
+	if len(samples) == 0 {
+		return
+	}
+	var caqMax int64
+	for _, sm := range samples {
+		if sm.CAQMax > caqMax {
+			caqMax = sm.CAQMax
+		}
+	}
+	fmt.Printf("     obs: %d windows x %d cycles, caq max=%d, spark=%s\n",
+		len(samples), s.Interval, caqMax, sparkline(samples, 60))
+	if s.Dropped > 0 {
+		fmt.Printf("     obs: %d events predate the retained ring\n", s.Dropped)
+	}
+	if d.MaxDepthSeen() > 0 {
+		d.Fprint(prefixWriter{})
+	}
+}
+
+// sparkline renders mean CAQ occupancy across the run in w buckets.
+func sparkline(samples []obs.Sample, w int) string {
+	if len(samples) < w {
+		w = len(samples)
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var peak float64
+	means := make([]float64, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*len(samples)/w, (i+1)*len(samples)/w
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, sm := range samples[lo:hi] {
+			sum += sm.CAQMean
+		}
+		means[i] = sum / float64(hi-lo)
+		if means[i] > peak {
+			peak = means[i]
+		}
+	}
+	out := make([]rune, w)
+	for i, m := range means {
+		idx := 0
+		if peak > 0 {
+			idx = int(m / peak * float64(len(levels)-1))
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// prefixWriter indents DepthStats.Fprint output to match the -v blocks.
+type prefixWriter struct{}
+
+func (prefixWriter) Write(p []byte) (int, error) {
+	lines := strings.Split(strings.TrimRight(string(p), "\n"), "\n")
+	for _, l := range lines {
+		fmt.Printf("     %s\n", l)
+	}
+	return len(p), nil
 }

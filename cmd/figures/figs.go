@@ -32,7 +32,21 @@ func (e *env) runAll(specs []runSpec) []asdsim.Result {
 		}
 		fs[i] = farm.Spec{Benchmark: s.bench, Mode: cfg.Mode, Config: cfg}
 	}
-	outs, err := e.pool.RunBatch(context.Background(), fs, nil, nil)
+	var onDone func(farm.Outcome)
+	if !e.quiet && len(fs) > 1 {
+		done, failed := 0, 0
+		onDone = func(o farm.Outcome) { // serialized by RunBatch
+			done++
+			if !o.OK() {
+				failed++
+			}
+			report.Progress(os.Stderr, done, failed, len(fs), 0)
+		}
+	}
+	outs, err := e.pool.RunBatch(context.Background(), fs, nil, onDone)
+	if onDone != nil {
+		fmt.Fprint(os.Stderr, "\r\033[K") // erase the meter before tables print
+	}
 	if err != nil {
 		log.Fatalf("figures: %v", err)
 	}

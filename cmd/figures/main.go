@@ -38,6 +38,9 @@ type env struct {
 	budget uint64
 	seed   uint64
 	pool   *farm.Pool
+	// quiet suppresses the in-place progress meter (forced when stderr
+	// is not a terminal, so piped output stays clean).
+	quiet bool
 }
 
 var experiments = []experiment{
@@ -67,6 +70,7 @@ func main() {
 	budget := flag.Uint64("budget", 2_000_000, "instructions per thread per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	quiet := flag.Bool("quiet", false, "suppress the in-place progress meter (automatic when stderr is piped)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -83,7 +87,7 @@ func main() {
 	}
 	pool := farm.New(farm.Options{Workers: *workers})
 	defer pool.Close()
-	e := &env{budget: *budget, seed: *seed, pool: pool}
+	e := &env{budget: *budget, seed: *seed, pool: pool, quiet: *quiet || !stderrIsTerminal()}
 	if args[0] == "all" {
 		for _, ex := range experiments {
 			banner(ex)
@@ -108,4 +112,12 @@ func main() {
 
 func banner(ex experiment) {
 	fmt.Printf("=== %s — %s ===\n", ex.name, ex.about)
+}
+
+// stderrIsTerminal reports whether stderr is an interactive terminal;
+// the in-place progress meter is only rendered there (its \r rewrites
+// would litter a piped or redirected stream).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -48,7 +48,7 @@ func main() {
 	misses := 0
 	for _, rec := range recs {
 		line := mem.LineOf(rec.Addr)
-		res := h.Access(line, rec.Op == trace.Store)
+		res := h.Access(line, rec.Op == trace.Store, now)
 		if res.Level == cache.Memory {
 			h.Fill(line, rec.Op == trace.Store)
 			now += 120 // nominal MC read spacing

@@ -160,7 +160,7 @@ func TestHierarchyBasicWalk(t *testing.T) {
 		L2Size: 4 << 10, L2Assoc: 2, L2Lat: 13,
 		L3Size: 16 << 10, L3Assoc: 4, L3Lat: 90,
 	})
-	r := h.Access(100, false)
+	r := h.Access(100, false, 0)
 	if r.Level != Memory {
 		t.Fatalf("first access level = %v, want Memory", r.Level)
 	}
@@ -168,7 +168,7 @@ func TestHierarchyBasicWalk(t *testing.T) {
 		t.Errorf("DemandMisses = %d", h.DemandMisses)
 	}
 	h.Fill(100, false)
-	r = h.Access(100, false)
+	r = h.Access(100, false, 0)
 	if r.Level != LevelL1 || r.Latency != 2 {
 		t.Errorf("after fill: level=%v lat=%d", r.Level, r.Latency)
 	}
@@ -189,7 +189,7 @@ func TestHierarchyL2HitPromotesToL1(t *testing.T) {
 	if h.L1.Contains(1) {
 		t.Fatal("line 1 should have been evicted from L1")
 	}
-	r := h.Access(1, false)
+	r := h.Access(1, false, 0)
 	if r.Level != LevelL2 {
 		t.Fatalf("level = %v, want L2", r.Level)
 	}
@@ -214,7 +214,7 @@ func TestHierarchyVictimL3(t *testing.T) {
 	if !h.L3.Contains(0) {
 		t.Fatal("L2 victim should land in L3")
 	}
-	r := h.Access(0, false)
+	r := h.Access(0, false, 0)
 	if r.Level != LevelL3 {
 		t.Fatalf("level = %v, want L3", r.Level)
 	}
@@ -296,6 +296,6 @@ func BenchmarkHierarchyAccessHit(b *testing.B) {
 	h.Fill(1, false)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		h.Access(1, false)
+		h.Access(1, false, 0)
 	}
 }

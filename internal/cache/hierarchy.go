@@ -1,6 +1,9 @@
 package cache
 
-import "asdsim/internal/mem"
+import (
+	"asdsim/internal/mem"
+	"asdsim/internal/obs"
+)
 
 // Level identifies where in the hierarchy an access was satisfied.
 type Level int
@@ -67,6 +70,8 @@ type Hierarchy struct {
 	DemandMisses uint64
 	// WritebacksToMemory counts dirty lines pushed out of the L3.
 	WritebacksToMemory uint64
+
+	bus *obs.Bus // nil when no observer is attached
 }
 
 // NewHierarchy builds a hierarchy from cfg.
@@ -91,11 +96,28 @@ type Result struct {
 	Writebacks []mem.Line
 }
 
-// Access walks the hierarchy for a load or store to line. Hits refresh
-// LRU state and promote the line up to L1 (and into L2 on an L3 hit,
-// victim-cache style). A full miss performs no fill: callers must invoke
-// Fill when the memory system returns the line.
-func (h *Hierarchy) Access(line mem.Line, store bool) Result {
+// SetObserver attaches a probe bus (nil detaches).
+func (h *Hierarchy) SetObserver(b *obs.Bus) { h.bus = b }
+
+// Access walks the hierarchy for a load or store to line at CPU cycle
+// now (used only for probe timestamps). Hits refresh LRU state and
+// promote the line up to L1 (and into L2 on an L3 hit, victim-cache
+// style). A full miss performs no fill: callers must invoke Fill when
+// the memory system returns the line.
+func (h *Hierarchy) Access(line mem.Line, store bool, now uint64) Result {
+	res := h.access(line, store)
+	if h.bus != nil {
+		var st int64
+		if store {
+			st = 1
+		}
+		h.bus.Emit(obs.Event{Kind: obs.KindCacheAccess, Cycle: now, Line: line,
+			V1: int64(res.Level), V2: st})
+	}
+	return res
+}
+
+func (h *Hierarchy) access(line mem.Line, store bool) Result {
 	if h.L1.Lookup(line, store) {
 		return Result{Level: LevelL1, Latency: h.cfg.L1Lat}
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"asdsim/internal/obs"
+)
 
 // Policy is one of the five prefetch-priority policies of §3.5, in order
 // of decreasing conservativeness. The Final Scheduler may issue a command
@@ -119,6 +123,8 @@ type AdaptiveScheduler struct {
 	PolicyEpochs [6]uint64
 	// TotalConflicts accumulates across the run.
 	TotalConflicts uint64
+
+	bus *obs.Bus // nil when no observer is attached
 }
 
 // NewAdaptiveScheduler returns a scheduler; adaptive mode starts at the
@@ -140,6 +146,9 @@ func NewAdaptiveScheduler(cfg SchedulerConfig) *AdaptiveScheduler {
 // Policy returns the active policy.
 func (s *AdaptiveScheduler) Policy() Policy { return s.policy }
 
+// SetObserver attaches a probe bus (nil detaches).
+func (s *AdaptiveScheduler) SetObserver(b *obs.Bus) { s.bus = b }
+
 // OnConflict records that a regular command in the Reorder Queues could
 // not proceed because it conflicted with a previously issued prefetch.
 func (s *AdaptiveScheduler) OnConflict() {
@@ -147,14 +156,15 @@ func (s *AdaptiveScheduler) OnConflict() {
 	s.TotalConflicts++
 }
 
-// OnRead advances the epoch clock by one Read command; at each epoch
-// boundary the policy is re-evaluated.
-func (s *AdaptiveScheduler) OnRead() {
+// OnRead advances the epoch clock by one Read command (observed at CPU
+// cycle now); at each epoch boundary the policy is re-evaluated.
+func (s *AdaptiveScheduler) OnRead(now uint64) {
 	s.reads++
 	if s.reads < s.cfg.EpochReads {
 		return
 	}
 	s.PolicyEpochs[s.policy]++
+	prev := s.policy
 	if s.cfg.Fixed == 0 {
 		switch {
 		case s.conflict >= s.cfg.RaiseThreshold && s.policy > PolicyIdleSystem:
@@ -162,6 +172,10 @@ func (s *AdaptiveScheduler) OnRead() {
 		case s.conflict <= s.cfg.LowerThreshold && s.policy < PolicyTimestamp:
 			s.policy++
 		}
+	}
+	if s.bus != nil {
+		s.bus.Emit(obs.Event{Kind: obs.KindSchedPolicy, Cycle: now,
+			V1: int64(s.policy), V2: int64(s.conflict), V3: int64(prev)})
 	}
 	s.reads = 0
 	s.conflict = 0

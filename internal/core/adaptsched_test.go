@@ -138,7 +138,7 @@ func TestAdaptiveLoosensWhenQuiet(t *testing.T) {
 	}
 	for epoch := 0; epoch < 4; epoch++ {
 		for i := 0; i < 10; i++ {
-			s.OnRead()
+			s.OnRead(0)
 		}
 	}
 	if s.Policy() != PolicyTimestamp {
@@ -151,7 +151,7 @@ func TestAdaptiveTightensOnConflicts(t *testing.T) {
 	// Loosen two steps first.
 	for epoch := 0; epoch < 2; epoch++ {
 		for i := 0; i < 10; i++ {
-			s.OnRead()
+			s.OnRead(0)
 		}
 	}
 	if s.Policy() != PolicyCAQEmpty {
@@ -162,7 +162,7 @@ func TestAdaptiveTightensOnConflicts(t *testing.T) {
 		s.OnConflict()
 	}
 	for i := 0; i < 10; i++ {
-		s.OnRead()
+		s.OnRead(0)
 	}
 	if s.Policy() != PolicyNoIssuable {
 		t.Errorf("policy = %v, want no-issuable after conflicts", s.Policy())
@@ -178,7 +178,7 @@ func TestAdaptiveSaturatesAtBounds(t *testing.T) {
 	for e := 0; e < 10; e++ {
 		s.OnConflict()
 		for i := 0; i < 5; i++ {
-			s.OnRead()
+			s.OnRead(0)
 		}
 	}
 	if s.Policy() != PolicyIdleSystem {
@@ -190,7 +190,7 @@ func TestFixedPolicyNeverMoves(t *testing.T) {
 	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 5, RaiseThreshold: 1, LowerThreshold: 10, Fixed: PolicyCAQEmpty})
 	for e := 0; e < 10; e++ {
 		for i := 0; i < 5; i++ {
-			s.OnRead()
+			s.OnRead(0)
 		}
 	}
 	if s.Policy() != PolicyCAQEmpty {
@@ -201,7 +201,7 @@ func TestFixedPolicyNeverMoves(t *testing.T) {
 func TestPolicyEpochsAccounting(t *testing.T) {
 	s := NewAdaptiveScheduler(SchedulerConfig{EpochReads: 2, RaiseThreshold: 100, LowerThreshold: -1})
 	for i := 0; i < 6; i++ { // 3 epochs, no adaptation (lower=-1 unreachable)
-		s.OnRead()
+		s.OnRead(0)
 	}
 	if s.PolicyEpochs[PolicyIdleSystem] != 3 {
 		t.Errorf("PolicyEpochs = %v", s.PolicyEpochs)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"asdsim/internal/mem"
+	"asdsim/internal/obs"
 	"asdsim/internal/slh"
 	"asdsim/internal/stats"
 	"asdsim/internal/stream"
@@ -65,6 +66,8 @@ type Engine struct {
 	// PrefetchDecisions and PrefetchesIssued count decision outcomes.
 	PrefetchDecisions uint64
 	PrefetchesIssued  uint64
+
+	bus *obs.Bus // nil when no observer is attached
 }
 
 // NewEngine returns an Engine for cfg.
@@ -86,6 +89,9 @@ func NewEngine(cfg Config) *Engine {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetObserver attaches a probe bus (nil detaches).
+func (e *Engine) SetObserver(b *obs.Bus) { e.bus = b }
 
 // onStreamEnd routes a completed stream into the direction's LHT pair.
 // A length-1 stream has no direction (the Stream Filter only commits to
@@ -112,12 +118,12 @@ func (e *Engine) onStreamEnd(length int, dir mem.Direction) {
 // of a stream; inequality (5)/(6) against the direction's LHTcurr decides
 // whether and how far to prefetch.
 func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
-	obs := e.filter.Observe(line, now)
+	o := e.filter.Observe(line, now)
 	e.readsInEpoch++
 	if e.readsInEpoch >= e.cfg.SLH.EpochLen {
-		e.rollEpoch()
+		e.rollEpoch(now)
 	}
-	if !obs.Tracked {
+	if !o.Tracked {
 		// Filter overflow: the SLH was updated as if a length-1 stream
 		// were seen, but no prefetch is generated (§3.3).
 		return nil
@@ -128,13 +134,17 @@ func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	// table takes over once the second access commits the direction.
 	var out []mem.Line
 	tbl := e.up
-	if obs.Length > 1 && obs.Dir == mem.Down {
+	if o.Length > 1 && o.Dir == mem.Down {
 		tbl = e.down
 	}
-	if d := tbl.PrefetchDegree(obs.Length, e.cfg.MaxDegree); d > 0 {
-		out = appendRun(out, line, int(obs.Dir), d)
+	if d := tbl.PrefetchDegree(o.Length, e.cfg.MaxDegree); d > 0 {
+		out = appendRun(out, line, int(o.Dir), d)
 	}
 	e.PrefetchesIssued += uint64(len(out))
+	if e.bus != nil {
+		e.bus.Emit(obs.Event{Kind: obs.KindASDPrefetchDecision, Cycle: now, Line: line,
+			V1: int64(o.Length), V2: int64(len(out))})
+	}
 	return out
 }
 
@@ -151,7 +161,7 @@ func (e *Engine) Tick(now uint64) { e.filter.Tick(now) }
 
 // rollEpoch flushes the filter (folding live streams into LHTnext) and
 // rolls both directions' tables.
-func (e *Engine) rollEpoch() {
+func (e *Engine) rollEpoch(now uint64) {
 	e.filter.FlushEpoch()
 	e.up.EpochEnd()
 	e.down.EpochEnd()
@@ -161,6 +171,9 @@ func (e *Engine) rollEpoch() {
 		e.history = append(e.history, e.lastEpochSLH.Clone())
 	}
 	e.epochAccum.Reset()
+	if e.bus != nil {
+		e.bus.Emit(obs.Event{Kind: obs.KindASDEpochRoll, Cycle: now, V1: int64(e.up.Epochs)})
+	}
 }
 
 // EpochHistory returns the per-epoch SLHs collected so far (empty unless

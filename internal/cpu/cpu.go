@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"asdsim/internal/mem"
+	"asdsim/internal/obs"
 	"asdsim/internal/trace"
 )
 
@@ -57,6 +58,7 @@ type Thread struct {
 	pend     []Pending
 	nextID   uint64
 	finished bool
+	bus      *obs.Bus // nil when no observer is attached
 }
 
 // NewThread returns a thread executing src under cfg.
@@ -70,6 +72,9 @@ func NewThread(id int, src trace.Source, cfg Config) *Thread {
 // Finished reports whether the thread has retired its budget (or ran out
 // of trace).
 func (t *Thread) Finished() bool { return t.finished }
+
+// SetObserver attaches a probe bus (nil detaches).
+func (t *Thread) SetObserver(b *obs.Bus) { t.bus = b }
 
 // Outstanding returns the number of pending memory requests.
 func (t *Thread) Outstanding() int { return len(t.pend) }
@@ -142,6 +147,10 @@ func (t *Thread) BlockedOn() *Pending {
 func (t *Thread) Resume(at uint64) {
 	if at > t.Now {
 		t.StallCycles += at - t.Now
+		if t.bus != nil {
+			t.bus.Emit(obs.Event{Kind: obs.KindCPUStall, Cycle: at,
+				Thread: int32(t.ID), V1: int64(at - t.Now)})
+		}
 		t.Now = at
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"asdsim/internal/mem"
+	"asdsim/internal/obs"
 )
 
 // Timing holds the DRAM timing constraints in DRAM clocks.
@@ -112,6 +113,7 @@ type DRAM struct {
 	rowHits      uint64
 	rowMisses    uint64
 	rowConflicts uint64
+	bus          *obs.Bus // nil when no observer is attached
 }
 
 // New returns a DRAM model for cfg.
@@ -135,6 +137,10 @@ func New(cfg Config) *DRAM {
 
 // Config returns the model's configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// SetObserver attaches a probe bus (nil detaches). DRAM probes convert
+// their DRAM-cycle timestamps to CPU cycles before publishing.
+func (d *DRAM) SetObserver(b *obs.Bus) { d.bus = b }
 
 // decode maps a line to (bank index, row). Lines interleave across
 // columns first, then banks, then rows — the standard open-page mapping
@@ -175,6 +181,10 @@ func (d *DRAM) applyRefresh(bankIdx int, bk *bank, now uint64) {
 	bk.rowOpen = false
 	if refEnd > bk.readyAt {
 		bk.readyAt = refEnd
+	}
+	if d.bus != nil {
+		d.bus.Emit(obs.Event{Kind: obs.KindDRAMRefresh, Cycle: now * mem.CPUCyclesPerDRAMCycle,
+			V2: int64(bankIdx)})
 	}
 }
 
@@ -228,6 +238,7 @@ func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
 	}
 
 	var casAt uint64
+	var rowOutcome int64
 	switch {
 	case bk.rowOpen && bk.row == row:
 		// Row hit: CAS immediately.
@@ -236,6 +247,7 @@ func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
 	case bk.rowOpen:
 		// Row conflict: precharge, activate, CAS.
 		d.rowConflicts++
+		rowOutcome = 2
 		actAt := start + uint64(t.TRP)
 		if bk.activated && actAt < bk.lastActivate+uint64(t.TRC) {
 			actAt = bk.lastActivate + uint64(t.TRC)
@@ -247,6 +259,7 @@ func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
 	default:
 		// Row closed (cold bank): activate, CAS.
 		d.rowMisses++
+		rowOutcome = 1
 		actAt := start
 		if bk.activated && actAt < bk.lastActivate+uint64(t.TRC) {
 			actAt = bk.lastActivate + uint64(t.TRC)
@@ -278,6 +291,17 @@ func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
 
 	if dataEnd > d.lastCycle {
 		d.lastCycle = dataEnd
+	}
+	if d.bus != nil {
+		var flags int64
+		if isWrite {
+			flags |= 1
+		}
+		if isPrefetch {
+			flags |= 2
+		}
+		d.bus.Emit(obs.Event{Kind: obs.KindDRAMAccess, Cycle: now * mem.CPUCyclesPerDRAMCycle,
+			Line: l, V1: rowOutcome, V2: int64(b), V3: flags})
 	}
 	return dataEnd
 }

@@ -3,8 +3,10 @@ package farm
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -23,13 +25,20 @@ import (
 // A non-nil store gives every submitted job resume-from-partial-results
 // against the same JSONL file the CLI writes.
 type Server struct {
-	pool  *Pool
-	store *Store
+	pool   *Pool
+	store  *Store
+	pprof  bool
+	expvar *expvar.Map
 
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*serverJob
 }
+
+// farmJobsVar is the process-wide expvar map live per-job counters are
+// published under ("farm.jobs" in /debug/vars). Registered once: expvar
+// panics on duplicate names, and tests build several Servers.
+var farmJobsVar = expvar.NewMap("farm.jobs")
 
 // serverJob tracks one submitted matrix through the pool.
 type serverJob struct {
@@ -46,8 +55,14 @@ type serverJob struct {
 
 // NewServer wraps pool (and an optional store) in an HTTP API.
 func NewServer(pool *Pool, store *Store) *Server {
-	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob)}
+	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob), expvar: farmJobsVar}
 }
+
+// EnablePprof mounts net/http/pprof profiling endpoints under
+// /debug/pprof/ on the next Handler call. Off by default: the profiler
+// exposes stacks and heap contents, so callers opt in (asdfarm serve
+// -pprof).
+func (s *Server) EnablePprof() { s.pprof = true }
 
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler {
@@ -57,6 +72,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -91,6 +114,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.id = fmt.Sprintf("job-%d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	// Publish the job's live counters: expvar.Func re-evaluates
+	// summary() on every /debug/vars read, so the values track the
+	// running pool without bookkeeping.
+	s.expvar.Set(j.id, expvar.Func(func() any { return j.summary() }))
 
 	go func() {
 		defer cancel()
@@ -260,6 +287,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.summary())
 }
 
+// metricsView is /metrics's wire form: the pool snapshot's flat fields
+// (embedded, preserving the pre-existing shape) plus live per-job
+// counters.
+type metricsView struct {
+	Snapshot
+	Jobs map[string]jobSummary `json:"jobs,omitempty"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.Metrics().Snapshot())
+	s.mu.Lock()
+	jobs := make(map[string]jobSummary, len(s.jobs))
+	for id, j := range s.jobs {
+		jobs[id] = j.summary()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, metricsView{Snapshot: s.pool.Metrics().Snapshot(), Jobs: jobs})
 }

@@ -13,6 +13,7 @@ import (
 	"asdsim/internal/core"
 	"asdsim/internal/dram"
 	"asdsim/internal/mem"
+	"asdsim/internal/obs"
 	"asdsim/internal/prefetch"
 )
 
@@ -68,6 +69,7 @@ type pfState struct {
 	line    mem.Line
 	arrival uint64
 	doneAt  uint64
+	depth   int // 1 = line adjacent to the trigger
 	// waiters are demand Reads that arrived while this prefetch was in
 	// flight and were merged onto it.
 	waiters []mem.Command
@@ -113,6 +115,7 @@ type Controller struct {
 	pb         *PBuffer
 	arb        arbiter
 	onReadDone ReadDoneFunc
+	bus        *obs.Bus // nil when no observer is attached
 
 	stats Stats
 }
@@ -143,6 +146,11 @@ func New(cfg Config, d *dram.DRAM, engines []prefetch.MSEngine, adaptive *core.A
 // SetReadDone installs the completion callback for demand Reads.
 func (c *Controller) SetReadDone(fn ReadDoneFunc) { c.onReadDone = fn }
 
+// SetObserver attaches a probe bus (nil detaches). Every probe point
+// is guarded by a nil check, so a detached controller pays one branch
+// per probe.
+func (c *Controller) SetObserver(b *obs.Bus) { c.bus = b }
+
 // Stats returns a snapshot of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
@@ -155,7 +163,16 @@ func (c *Controller) Adaptive() *core.AdaptiveScheduler { return c.adaptive }
 // Enqueue presents a command to the controller; it takes effect at the
 // next Step. Commands are processed in Enqueue order.
 func (c *Controller) Enqueue(cmd mem.Command) {
-	c.inbox = append(c.inbox, &cmdState{cmd: cmd, isWrite: cmd.Kind == mem.Write})
+	isWrite := cmd.Kind == mem.Write
+	c.inbox = append(c.inbox, &cmdState{cmd: cmd, isWrite: isWrite})
+	if c.bus != nil {
+		var w int64
+		if isWrite {
+			w = 1
+		}
+		c.bus.Emit(obs.Event{Kind: obs.KindMCEnqueue, Cycle: cmd.Arrival, ID: cmd.ID,
+			Line: cmd.Line, Thread: int32(cmd.Thread), V1: w})
+	}
 }
 
 // Busy reports whether the controller holds any work.
@@ -191,6 +208,12 @@ func (c *Controller) NextWake(cpuNow uint64) uint64 {
 // stragglers forever.
 func (c *Controller) FlushLPQ() {
 	c.stats.LPQDrops += uint64(len(c.lpq))
+	if c.bus != nil {
+		for _, p := range c.lpq {
+			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: p.arrival,
+				Line: p.line, V1: int64(p.depth)})
+		}
+	}
 	c.lpq = c.lpq[:0]
 }
 
@@ -202,11 +225,15 @@ func (c *Controller) Step(cpuNow uint64) {
 	c.completePrefetches(cpuNow)
 	c.completeDemands(cpuNow)
 	c.drainInbox(cpuNow)
-	c.countConflicts(dramNow)
-	c.scheduleToCAQ(dramNow)
+	c.countConflicts(cpuNow, dramNow)
+	c.scheduleToCAQ(cpuNow, dramNow)
 	c.finalIssue(cpuNow, dramNow)
 	for _, e := range c.engines {
 		e.Tick(cpuNow)
+	}
+	if c.bus != nil {
+		c.bus.Emit(obs.Event{Kind: obs.KindMCQueues, Cycle: cpuNow,
+			V1: int64(len(c.readQ) + len(c.writeQ)), V2: int64(len(c.caq)), V3: int64(len(c.lpq))})
 	}
 }
 
@@ -222,9 +249,12 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 			}
 			c.stats.RegularWrites++
 			if c.pb != nil {
-				c.pb.InvalidateForWrite(s.cmd.Line)
+				if dropped, depth := c.pb.InvalidateForWrite(s.cmd.Line); dropped && c.bus != nil {
+					c.bus.Emit(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
+						Line: s.cmd.Line, V1: int64(depth), V2: 1})
+				}
 			}
-			c.dropPendingPrefetch(s.cmd.Line)
+			c.dropPendingPrefetch(s.cmd.Line, cpuNow)
 			c.writeQ = append(c.writeQ, s)
 			c.inbox = c.inbox[1:]
 			continue
@@ -238,16 +268,22 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 		c.inbox = c.inbox[1:]
 		c.stats.RegularReads++
 		if c.adaptive != nil {
-			c.adaptive.OnRead()
+			c.adaptive.OnRead(cpuNow)
 		}
 		c.observeRead(s.cmd, cpuNow)
 
-		if c.pb != nil && c.pb.TakeForRead(s.cmd.Line) {
-			// First PB check: satisfied without DRAM; the Read is
-			// squashed.
-			c.stats.PBHitsEntry++
-			c.deliver(s.cmd, cpuNow+c.cfg.PBHitLatency)
-			continue
+		if c.pb != nil {
+			if hit, depth := c.pb.TakeForRead(s.cmd.Line); hit {
+				// First PB check: satisfied without DRAM; the Read is
+				// squashed.
+				c.stats.PBHitsEntry++
+				if c.bus != nil {
+					c.bus.Emit(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: s.cmd.ID,
+						Line: s.cmd.Line, Thread: int32(s.cmd.Thread), V2: int64(depth)})
+				}
+				c.deliver(s.cmd, cpuNow+c.cfg.PBHitLatency, false)
+				continue
+			}
 		}
 		if pf := c.findInFlightPrefetch(s.cmd.Line); pf != nil {
 			// The line is already on its way from DRAM: merge.
@@ -258,7 +294,7 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 		// A matching prefetch still waiting in the LPQ is squashed: the
 		// demand Read will fetch the line itself, so issuing the
 		// prefetch too would only waste a DRAM access.
-		c.dropPendingPrefetch(s.cmd.Line)
+		c.dropPendingPrefetch(s.cmd.Line, cpuNow)
 		c.readQ = append(c.readQ, s)
 	}
 }
@@ -270,24 +306,28 @@ func (c *Controller) observeRead(cmd mem.Command, cpuNow uint64) {
 		return
 	}
 	eng := c.engines[cmd.Thread%len(c.engines)]
-	for _, line := range eng.ObserveRead(cmd.Line, cpuNow) {
-		c.nominatePrefetch(line, cpuNow)
+	for i, line := range eng.ObserveRead(cmd.Line, cpuNow) {
+		c.nominatePrefetch(line, i+1, cpuNow)
 	}
 }
 
-// nominatePrefetch files one prefetch candidate into the LPQ unless it is
-// redundant or the queue is full.
-func (c *Controller) nominatePrefetch(line mem.Line, cpuNow uint64) {
-	if c.pb.Contains(line) || c.findInFlightPrefetch(line) != nil || c.lpqContains(line) || c.demandPending(line) {
+// nominatePrefetch files one prefetch candidate (depth lines beyond
+// its trigger) into the LPQ unless it is redundant or the queue is
+// full.
+func (c *Controller) nominatePrefetch(line mem.Line, depth int, cpuNow uint64) {
+	if c.pb.Contains(line) || c.findInFlightPrefetch(line) != nil || c.lpqContains(line) || c.demandPending(line) ||
+		len(c.lpq) >= c.cfg.LPQCap {
 		c.stats.LPQDrops++
+		if c.bus != nil {
+			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(depth)})
+		}
 		return
 	}
-	if len(c.lpq) >= c.cfg.LPQCap {
-		c.stats.LPQDrops++
-		return
-	}
-	c.lpq = append(c.lpq, &pfState{line: line, arrival: cpuNow})
+	c.lpq = append(c.lpq, &pfState{line: line, arrival: cpuNow, depth: depth})
 	c.stats.PrefetchesToLPQ++
+	if c.bus != nil {
+		c.bus.Emit(obs.Event{Kind: obs.KindMCPFNominate, Cycle: cpuNow, Line: line, V1: int64(depth)})
+	}
 }
 
 func (c *Controller) lpqContains(line mem.Line) bool {
@@ -331,11 +371,14 @@ func (c *Controller) findInFlightPrefetch(line mem.Line) *pfState {
 
 // dropPendingPrefetch removes an un-issued LPQ entry for line (a Write
 // makes prefetching it pointless and the data would be stale).
-func (c *Controller) dropPendingPrefetch(line mem.Line) {
+func (c *Controller) dropPendingPrefetch(line mem.Line, cpuNow uint64) {
 	for i, p := range c.lpq {
 		if p.line == line {
 			c.lpq = append(c.lpq[:i], c.lpq[i+1:]...)
 			c.stats.LPQDrops++
+			if c.bus != nil {
+				c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(p.depth)})
+			}
 			return
 		}
 	}
@@ -344,7 +387,7 @@ func (c *Controller) dropPendingPrefetch(line mem.Line) {
 // countConflicts implements the Adaptive Scheduling feedback (§3.5): each
 // regular command in the Reorder Queues that cannot proceed because its
 // bank is held by a previously issued prefetch counts once.
-func (c *Controller) countConflicts(dramNow uint64) {
+func (c *Controller) countConflicts(cpuNow, dramNow uint64) {
 	if c.adaptive == nil {
 		return
 	}
@@ -356,6 +399,10 @@ func (c *Controller) countConflicts(dramNow uint64) {
 			if busy, byPF := c.dram.BankBusy(s.cmd.Line, dramNow); busy && byPF {
 				s.conflictCounted = true
 				c.adaptive.OnConflict()
+				if c.bus != nil {
+					c.bus.Emit(obs.Event{Kind: obs.KindMCBankConflict, Cycle: cpuNow,
+						ID: s.cmd.ID, Line: s.cmd.Line, Thread: int32(s.cmd.Thread)})
+				}
 				if !s.delayedCounted {
 					s.delayedCounted = true
 					c.stats.DelayedRegular++
@@ -367,7 +414,7 @@ func (c *Controller) countConflicts(dramNow uint64) {
 
 // scheduleToCAQ moves at most one command per MC cycle from the Reorder
 // Queues to the CAQ, per the configured scheduling algorithm.
-func (c *Controller) scheduleToCAQ(dramNow uint64) {
+func (c *Controller) scheduleToCAQ(cpuNow, dramNow uint64) {
 	if len(c.caq) >= c.cfg.CAQCap {
 		return
 	}
@@ -386,6 +433,14 @@ func (c *Controller) scheduleToCAQ(dramNow uint64) {
 		c.readQ = removeCmd(c.readQ, chosen)
 	}
 	c.caq = append(c.caq, chosen)
+	if c.bus != nil {
+		var w int64
+		if chosen.isWrite {
+			w = 1
+		}
+		c.bus.Emit(obs.Event{Kind: obs.KindMCSchedule, Cycle: cpuNow, ID: chosen.cmd.ID,
+			Line: chosen.cmd.Line, Thread: int32(chosen.cmd.Thread), V1: w})
+	}
 }
 
 func removeCmd(q []*cmdState, s *cmdState) []*cmdState {
@@ -404,11 +459,20 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 	issued := false
 	if len(c.caq) > 0 {
 		head := c.caq[0]
-		if !head.isWrite && c.pb != nil && c.pb.TakeForRead(head.cmd.Line) {
+		var lateHit bool
+		var lateDepth int
+		if !head.isWrite && c.pb != nil {
+			lateHit, lateDepth = c.pb.TakeForRead(head.cmd.Line)
+		}
+		if lateHit {
 			// Second PB check: the data arrived while the command sat
 			// in the CAQ.
 			c.stats.PBHitsLate++
-			c.deliver(head.cmd, cpuNow+c.cfg.PBHitLatency)
+			if c.bus != nil {
+				c.bus.Emit(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: head.cmd.ID,
+					Line: head.cmd.Line, Thread: int32(head.cmd.Thread), V1: 1, V2: int64(lateDepth)})
+			}
+			c.deliver(head.cmd, cpuNow+c.cfg.PBHitLatency, false)
 			c.caq = c.caq[1:]
 			issued = true // the CAQ slot consumed this cycle's transmit
 		} else if c.dram.CanIssue(head.cmd.Line, dramNow) {
@@ -424,9 +488,21 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 				c.inflight = append(c.inflight, head)
 			}
 			issued = true
+			if c.bus != nil {
+				var w int64
+				if head.isWrite {
+					w = 1
+				}
+				c.bus.Emit(obs.Event{Kind: obs.KindMCIssue, Cycle: cpuNow, ID: head.cmd.ID,
+					Line: head.cmd.Line, Thread: int32(head.cmd.Thread), V1: w, V2: int64(doneCPU)})
+			}
 		} else if busy, byPF := c.dram.BankBusy(head.cmd.Line, dramNow); busy && byPF && !head.delayedCounted {
 			head.delayedCounted = true
 			c.stats.DelayedRegular++
+			if c.bus != nil {
+				c.bus.Emit(obs.Event{Kind: obs.KindMCBankConflict, Cycle: cpuNow,
+					ID: head.cmd.ID, Line: head.cmd.Line, Thread: int32(head.cmd.Thread)})
+			}
 		}
 	}
 	if issued || len(c.lpq) == 0 || c.adaptive == nil {
@@ -445,6 +521,10 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 	c.lpq = c.lpq[1:]
 	c.pfFlight = append(c.pfFlight, head)
 	c.stats.PrefetchesToDRAM++
+	if c.bus != nil {
+		c.bus.Emit(obs.Event{Kind: obs.KindMCPFIssue, Cycle: cpuNow, Line: head.line,
+			V1: int64(head.depth), V2: int64(head.doneAt)})
+	}
 }
 
 // queueState snapshots the queues for a policy decision.
@@ -481,12 +561,24 @@ func (c *Controller) completePrefetches(cpuNow uint64) {
 			continue
 		}
 		if len(p.waiters) > 0 {
+			if c.bus != nil {
+				c.bus.Emit(obs.Event{Kind: obs.KindMCPFLate, Cycle: p.doneAt, Line: p.line,
+					V1: int64(p.depth), V2: int64(len(p.waiters))})
+			}
 			for _, w := range p.waiters {
-				c.deliver(w, p.doneAt)
+				c.deliver(w, p.doneAt, true)
 			}
 			c.pb.Useful++
 		} else {
-			c.pb.Insert(p.line)
+			evicted, evictedDepth := c.pb.Insert(p.line, p.depth)
+			if c.bus != nil {
+				c.bus.Emit(obs.Event{Kind: obs.KindMCPFInstall, Cycle: cpuNow, Line: p.line,
+					V1: int64(p.depth)})
+				if evicted {
+					c.bus.Emit(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
+						V1: int64(evictedDepth)})
+				}
+			}
 		}
 		c.pfFlight = append(c.pfFlight[:i], c.pfFlight[i+1:]...)
 	}
@@ -500,12 +592,20 @@ func (c *Controller) completeDemands(cpuNow uint64) {
 			i++
 			continue
 		}
-		c.deliver(s.cmd, s.done)
+		c.deliver(s.cmd, s.done, false)
 		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
 	}
 }
 
-func (c *Controller) deliver(cmd mem.Command, done uint64) {
+func (c *Controller) deliver(cmd mem.Command, done uint64, merged bool) {
+	if c.bus != nil {
+		var m int64
+		if merged {
+			m = 1
+		}
+		c.bus.Emit(obs.Event{Kind: obs.KindMCComplete, Cycle: done, ID: cmd.ID,
+			Line: cmd.Line, Thread: int32(cmd.Thread), V1: int64(done - cmd.Arrival), V2: m})
+	}
 	if c.onReadDone != nil {
 		c.onReadDone(cmd, done)
 	}

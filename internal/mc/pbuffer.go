@@ -11,6 +11,7 @@ type pbEntry struct {
 	valid bool
 	line  mem.Line
 	used  uint64 // LRU stamp
+	depth int    // prefetch depth that staged the line (1 = adjacent)
 }
 
 // PBuffer is the Prefetch Buffer of §3.3: a small set-associative,
@@ -61,35 +62,40 @@ func (b *PBuffer) find(l mem.Line) int {
 // Contains reports presence without state change.
 func (b *PBuffer) Contains(l mem.Line) bool { return b.find(l) >= 0 }
 
-// TakeForRead removes line on a Read hit, counting it useful. It returns
-// whether the line was present.
-func (b *PBuffer) TakeForRead(l mem.Line) bool {
+// TakeForRead removes line on a Read hit, counting it useful. It
+// reports whether the line was present and, if so, the prefetch depth
+// that staged it.
+func (b *PBuffer) TakeForRead(l mem.Line) (hit bool, depth int) {
 	i := b.find(l)
 	if i < 0 {
-		return false
+		return false, 0
 	}
 	b.ways[i].valid = false
 	b.Useful++
-	return true
+	return true, b.ways[i].depth
 }
 
 // InvalidateForWrite drops line on a Write to its address; an unused
-// entry counts as wasted.
-func (b *PBuffer) InvalidateForWrite(l mem.Line) {
+// entry counts as wasted. It reports whether an entry was dropped and
+// its staging depth.
+func (b *PBuffer) InvalidateForWrite(l mem.Line) (dropped bool, depth int) {
 	if i := b.find(l); i >= 0 {
 		b.ways[i].valid = false
 		b.Wasted++
 		b.WastedWrite++
+		return true, b.ways[i].depth
 	}
+	return false, 0
 }
 
-// Insert installs a prefetched line, evicting the set's LRU entry if
-// needed (an unused eviction counts as wasted).
-func (b *PBuffer) Insert(l mem.Line) {
+// Insert installs a prefetched line staged at the given depth,
+// evicting the set's LRU entry if needed (an unused eviction counts as
+// wasted; the victim's depth is reported for attribution).
+func (b *PBuffer) Insert(l mem.Line, depth int) (evicted bool, evictedDepth int) {
 	b.tick++
 	if i := b.find(l); i >= 0 {
 		b.ways[i].used = b.tick
-		return
+		return false, 0
 	}
 	base := b.setOf(l) * b.assoc
 	victim := base
@@ -109,9 +115,11 @@ func (b *PBuffer) Insert(l mem.Line) {
 	if b.ways[victim].valid {
 		b.Wasted++
 		b.WastedEvict++
+		evicted, evictedDepth = true, b.ways[victim].depth
 	}
-	b.ways[victim] = pbEntry{valid: true, line: l, used: b.tick}
+	b.ways[victim] = pbEntry{valid: true, line: l, used: b.tick, depth: depth}
 	b.Inserts++
+	return evicted, evictedDepth
 }
 
 // Live returns the number of valid entries.

@@ -25,11 +25,11 @@ func TestNewPBufferPanics(t *testing.T) {
 
 func TestPBufferInsertTake(t *testing.T) {
 	b := NewPBuffer(16, 4)
-	b.Insert(5)
+	b.Insert(5, 1)
 	if !b.Contains(5) {
 		t.Fatal("inserted line absent")
 	}
-	if !b.TakeForRead(5) {
+	if hit, _ := b.TakeForRead(5); !hit {
 		t.Fatal("TakeForRead missed")
 	}
 	if b.Contains(5) {
@@ -38,14 +38,14 @@ func TestPBufferInsertTake(t *testing.T) {
 	if b.Useful != 1 || b.Wasted != 0 || b.Inserts != 1 {
 		t.Errorf("counters: useful=%d wasted=%d inserts=%d", b.Useful, b.Wasted, b.Inserts)
 	}
-	if b.TakeForRead(5) {
+	if hit, _ := b.TakeForRead(5); hit {
 		t.Error("second take should miss")
 	}
 }
 
 func TestPBufferWriteInvalidation(t *testing.T) {
 	b := NewPBuffer(16, 4)
-	b.Insert(7)
+	b.Insert(7, 1)
 	b.InvalidateForWrite(7)
 	if b.Contains(7) {
 		t.Error("write must invalidate")
@@ -62,9 +62,9 @@ func TestPBufferWriteInvalidation(t *testing.T) {
 func TestPBufferLRUEviction(t *testing.T) {
 	b := NewPBuffer(4, 4) // one set
 	for l := 0; l < 4; l++ {
-		b.Insert(mustLine(l))
+		b.Insert(mustLine(l), 1)
 	}
-	b.Insert(100) // evicts line 0 (LRU)
+	b.Insert(100, 1) // evicts line 0 (LRU)
 	if b.Contains(0) {
 		t.Error("LRU line should have been evicted")
 	}
@@ -79,10 +79,10 @@ func TestPBufferLRUEviction(t *testing.T) {
 func TestPBufferReinsertRefreshes(t *testing.T) {
 	b := NewPBuffer(4, 4)
 	for l := 0; l < 4; l++ {
-		b.Insert(mustLine(l))
+		b.Insert(mustLine(l), 1)
 	}
-	b.Insert(0)   // refresh 0 to MRU
-	b.Insert(100) // evicts 1 now
+	b.Insert(0, 1)   // refresh 0 to MRU
+	b.Insert(100, 1) // evicts 1 now
 	if !b.Contains(0) || b.Contains(1) {
 		t.Error("refresh did not move line 0 to MRU")
 	}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// scriptedEvents is a small deterministic lifecycle script: two demand
+// Reads (one DRAM-served, one entry PB hit), a merged Read, a prefetch,
+// queue-depth counters and the two instant kinds.
+func scriptedEvents() []Event {
+	return []Event{
+		// Read 1: full enqueue -> schedule -> issue -> complete.
+		{Kind: KindMCEnqueue, ID: 1, Thread: 0, Line: 100, Cycle: 1000},
+		{Kind: KindMCQueues, Cycle: 1000, V1: 1, V2: 0, V3: 0},
+		{Kind: KindMCSchedule, ID: 1, Thread: 0, Line: 100, Cycle: 1200},
+		{Kind: KindMCQueues, Cycle: 1200, V1: 0, V2: 1, V3: 0},
+		{Kind: KindMCQueues, Cycle: 1300, V1: 0, V2: 1, V3: 0}, // duplicate: deduped
+		{Kind: KindMCIssue, ID: 1, Thread: 0, Line: 100, Cycle: 1400},
+		{Kind: KindMCComplete, ID: 1, Thread: 0, Line: 100, Cycle: 2600, V1: 1600},
+		// A prefetch issued at 1500, completing at 2300, depth 1.
+		{Kind: KindMCPFIssue, Line: 101, Cycle: 1500, V1: 1, V2: 2300},
+		// Read 2: entry PB hit (never scheduled).
+		{Kind: KindMCEnqueue, ID: 2, Thread: 1, Line: 101, Cycle: 2400},
+		{Kind: KindMCComplete, ID: 2, Thread: 1, Line: 101, Cycle: 2420, V1: 20},
+		// Read 3: merged onto an in-flight prefetch (V2 == 1).
+		{Kind: KindMCEnqueue, ID: 3, Thread: 0, Line: 102, Cycle: 2500},
+		{Kind: KindMCComplete, ID: 3, Thread: 0, Line: 102, Cycle: 2900, V1: 400, V2: 1},
+		// A write: enqueued but never tracked as a lifetime.
+		{Kind: KindMCEnqueue, ID: 4, Thread: 0, Line: 103, Cycle: 2600, V1: 1},
+		// Instants.
+		{Kind: KindASDEpochRoll, Cycle: 3000, V1: 1},
+		{Kind: KindSchedPolicy, Cycle: 3100, V1: 2, V3: 1},
+		{Kind: KindSchedPolicy, Cycle: 3200, V1: 2, V3: 2}, // unchanged: no instant
+	}
+}
+
+// TestTraceGolden locks the exporter's full JSON output. Regenerate
+// with: go test ./internal/obs -run TraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	b := NewTraceBuilder()
+	b.StartProcess("golden PMS")
+	for _, e := range scriptedEvents() {
+		b.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON differs from %s (re-run with -update if intended)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestTraceStructure checks the trace is well-formed JSON with the
+// expected slice set, independent of exact formatting.
+func TestTraceStructure(t *testing.T) {
+	b := NewTraceBuilder()
+	b.StartProcess("run-a")
+	for _, e := range scriptedEvents() {
+		b.Emit(e)
+	}
+	b.StartProcess("run-b")
+	b.Emit(Event{Kind: KindMCEnqueue, ID: 1, Line: 7, Cycle: 10})
+	b.Emit(Event{Kind: KindMCComplete, ID: 1, Line: 7, Cycle: 30, V1: 20})
+
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	counts := map[string]int{}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Name+"/"+e.Ph]++
+		pids[e.Pid] = true
+		if e.Ph == "X" && (e.Dur == nil || *e.Dur <= 0) {
+			t.Errorf("slice %q has non-positive duration", e.Name)
+		}
+	}
+	want := map[string]int{
+		"process_name/M": 2,
+		"queued/X":       1, // run-b's read is never scheduled: no queued slice
+		"caq/X":          1,
+		"dram/X":         1,
+		"pb-hit/X":       2, // run-a entry hit + run-b enqueue->complete
+		"merge/X":        1,
+		"prefetch/X":     1,
+		"mc-queues/C":    2, // third sample deduped
+		"slh-epoch-1/i":  1,
+		"policy->2/i":    1, // second policy event unchanged
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s count = %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("expected two process groups, got pids %v", pids)
+	}
+}
+
+func TestTraceDropsBeforeStartProcess(t *testing.T) {
+	b := NewTraceBuilder()
+	b.Emit(Event{Kind: KindMCEnqueue, ID: 1, Cycle: 10})
+	if b.Len() != 0 {
+		t.Fatalf("builder accumulated %d events before StartProcess", b.Len())
+	}
+}

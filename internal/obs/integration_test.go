@@ -1,0 +1,89 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"asdsim/internal/farm"
+	"asdsim/internal/obs"
+	"asdsim/internal/sim"
+)
+
+// TestConcurrentSinkUnderFarm drives several observed simulations
+// concurrently through the farm pool with every run's bus fanning into
+// one shared concurrency-safe sink. Run under -race this is the probe
+// path's data-race check; it also asserts the instrumentation actually
+// fires across components.
+func TestConcurrentSinkUnderFarm(t *testing.T) {
+	shared := &obs.Counter{}
+	var specs []farm.Spec
+	for _, bench := range []string{"GemsFDTD", "milc", "lbm", "tpcc"} {
+		cfg := sim.Default(sim.PMS, 60_000)
+		// One bus per run (Emit is not synchronized); the shared sink
+		// is what crosses goroutines.
+		cfg.Obs = obs.NewBus(shared)
+		specs = append(specs, farm.Spec{Benchmark: bench, Mode: cfg.Mode, Config: cfg})
+	}
+
+	pool := farm.New(farm.Options{Workers: 4})
+	defer pool.Close()
+	outs, err := pool.RunBatch(context.Background(), specs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if !o.OK() {
+			t.Fatalf("run %d (%s) failed: %s", i, specs[i].Benchmark, o.Err)
+		}
+	}
+
+	for _, k := range []obs.Kind{
+		obs.KindMCEnqueue, obs.KindMCSchedule, obs.KindMCIssue, obs.KindMCComplete,
+		obs.KindMCQueues, obs.KindDRAMAccess, obs.KindCacheAccess, obs.KindCPUStall,
+	} {
+		if shared.Count(k) == 0 {
+			t.Errorf("no %v events observed across the farm batch", k)
+		}
+	}
+}
+
+// TestObserverDoesNotPerturbSimulation: attaching a bus must not change
+// simulated behavior — same cycles, same stats, observer or not.
+func TestObserverDoesNotPerturbSimulation(t *testing.T) {
+	cfg := sim.Default(sim.PMS, 60_000)
+	plain, err := sim.Run("GemsFDTD", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := &obs.Counter{}
+	cfg.Obs = obs.NewBus(c)
+	observed, err := sim.Run("GemsFDTD", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles || plain.Instructions != observed.Instructions {
+		t.Errorf("observer changed the simulation: %d/%d cycles, %d/%d instructions",
+			plain.Cycles, observed.Cycles, plain.Instructions, observed.Instructions)
+	}
+	if plain.MC != observed.MC {
+		t.Errorf("observer changed MC stats:\nplain:    %+v\nobserved: %+v", plain.MC, observed.MC)
+	}
+	if c.Total() == 0 {
+		t.Error("no events reached the sink")
+	}
+
+	// Cross-check probe counts against the simulator's own statistics.
+	if got, want := c.Count(obs.KindMCEnqueue), plain.MC.RegularReads+plain.MC.RegularWrites; got != want {
+		t.Errorf("KindMCEnqueue count = %d, want reads+writes = %d", got, want)
+	}
+	if got, want := c.Count(obs.KindMCPFIssue), plain.MC.PrefetchesToDRAM; got != want {
+		t.Errorf("KindMCPFIssue count = %d, want PrefetchesToDRAM = %d", got, want)
+	}
+	if got, want := c.Count(obs.KindMCPFNominate), plain.MC.PrefetchesToLPQ; got != want {
+		t.Errorf("KindMCPFNominate count = %d, want PrefetchesToLPQ = %d", got, want)
+	}
+	if got, want := c.Count(obs.KindMCPBHit), plain.MC.PBHitsEntry+plain.MC.PBHitsLate; got != want {
+		t.Errorf("KindMCPBHit count = %d, want entry+late hits = %d", got, want)
+	}
+}

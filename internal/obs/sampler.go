@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one fixed-width time window's aggregate of the event
+// stream: queue-occupancy statistics, prefetch and DRAM activity
+// counts, cache level mix and CPU stall time. Gauges (queue depths,
+// policy) aggregate as mean/max over the window; everything else is a
+// count or a sum.
+type Sample struct {
+	// Window is the sample's index: it covers CPU cycles
+	// [Window*Interval, (Window+1)*Interval).
+	Window uint64 `json:"window"`
+	Start  uint64 `json:"start_cycle"`
+
+	// Queue occupancy (from KindMCQueues gauges).
+	QueueObs    uint64  `json:"queue_obs"`
+	CAQMean     float64 `json:"caq_mean"`
+	CAQMax      int64   `json:"caq_max"`
+	ReorderMean float64 `json:"reorder_mean"`
+	ReorderMax  int64   `json:"reorder_max"`
+	LPQMean     float64 `json:"lpq_mean"`
+	LPQMax      int64   `json:"lpq_max"`
+
+	// Demand traffic.
+	Reads       uint64  `json:"reads"`
+	Writes      uint64  `json:"writes"`
+	Completions uint64  `json:"completions"`
+	MeanReadLat float64 `json:"mean_read_lat"`
+	PBHits      uint64  `json:"pb_hits"`
+	BankConf    uint64  `json:"bank_conflicts"`
+
+	// Memory-side prefetcher activity.
+	PFNominated uint64 `json:"pf_nominated"`
+	PFDropped   uint64 `json:"pf_dropped"`
+	PFIssued    uint64 `json:"pf_issued"`
+	PFLate      uint64 `json:"pf_late"`
+	PFWasted    uint64 `json:"pf_wasted"`
+
+	// DRAM activity.
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	RowConflicts uint64 `json:"row_conflicts"`
+	Refreshes    uint64 `json:"refreshes"`
+
+	// Cache level mix and CPU stall time.
+	L1Hits      uint64 `json:"l1_hits"`
+	L2Hits      uint64 `json:"l2_hits"`
+	L3Hits      uint64 `json:"l3_hits"`
+	MemAccesses uint64 `json:"mem_accesses"`
+	StallCycles uint64 `json:"stall_cycles"`
+
+	// ASD / scheduler state.
+	EpochRolls uint64 `json:"epoch_rolls"`
+	Policy     int64  `json:"policy"` // last seen; 0 until first epoch closes
+
+	caqSum, reorderSum, lpqSum uint64
+	latSum                     uint64
+}
+
+// Sampler is a Sink aggregating events into fixed-interval windows,
+// ring-buffered: when more than MaxWindows windows have been opened the
+// oldest are discarded, keeping memory bounded on arbitrarily long
+// runs. Windows are keyed by absolute cycle (Window = Cycle/Interval),
+// so slightly out-of-order events across clock domains still land in
+// the right window; events older than the ring are counted in Dropped.
+type Sampler struct {
+	// Interval is the window width in CPU cycles.
+	Interval uint64
+	// MaxWindows bounds retained windows (ring buffer); 0 means the
+	// DefaultMaxWindows.
+	MaxWindows int
+
+	samples    []Sample // ascending Window order
+	policy     int64    // carried into new windows
+	evictedAny bool     // the ring has wrapped at least once
+	// Dropped counts events that arrived for windows already evicted
+	// from the ring.
+	Dropped uint64
+}
+
+// DefaultSampleInterval is the default window width: 50k CPU cycles,
+// ~23 us of simulated time, a few hundred windows per million-cycle
+// run.
+const DefaultSampleInterval = 50_000
+
+// DefaultMaxWindows bounds the ring at 4096 windows.
+const DefaultMaxWindows = 4096
+
+// NewSampler returns a sampler with the given window width in CPU
+// cycles (0 means DefaultSampleInterval).
+func NewSampler(interval uint64) *Sampler {
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{Interval: interval, MaxWindows: DefaultMaxWindows}
+}
+
+// window returns the sample for the event's window, opening (and
+// evicting) as needed; nil if the window predates the ring.
+func (s *Sampler) window(cycle uint64) *Sample {
+	idx := cycle / s.Interval
+	n := len(s.samples)
+	if n > 0 {
+		// Hot path: the event lands in the newest window.
+		if last := &s.samples[n-1]; last.Window == idx {
+			return last
+		} else if last.Window > idx {
+			// Out-of-order event for an older window: scan back and,
+			// if that window was skipped over, open it in place (the
+			// rare path; cross-clock-domain probes trail only a little).
+			for i := n - 2; i >= 0; i-- {
+				if s.samples[i].Window == idx {
+					return &s.samples[i]
+				}
+				if s.samples[i].Window < idx {
+					return s.insertAt(i+1, idx)
+				}
+			}
+			// Older than every retained window: evicted territory.
+			if s.samples[0].Window > idx && s.evictedAny {
+				s.Dropped++
+				return nil
+			}
+			return s.insertAt(0, idx)
+		}
+	}
+	return s.insertAt(n, idx)
+}
+
+// insertAt opens window idx at position i (keeping ascending order) and
+// evicts from the front past the ring limit.
+func (s *Sampler) insertAt(i int, idx uint64) *Sample {
+	s.samples = append(s.samples, Sample{})
+	copy(s.samples[i+1:], s.samples[i:])
+	s.samples[i] = Sample{Window: idx, Start: idx * s.Interval, Policy: s.policy}
+	limit := s.MaxWindows
+	if limit <= 0 {
+		limit = DefaultMaxWindows
+	}
+	if n := len(s.samples); n > limit {
+		s.evictedAny = true
+		if i < n-limit {
+			// The new window itself fell off the front.
+			s.samples = append(s.samples[:0], s.samples[n-limit:]...)
+			s.Dropped++
+			return nil
+		}
+		i -= n - limit
+		s.samples = append(s.samples[:0], s.samples[n-limit:]...)
+	}
+	return &s.samples[i]
+}
+
+// Emit implements Sink.
+func (s *Sampler) Emit(e Event) {
+	w := s.window(e.Cycle)
+	if w == nil {
+		return
+	}
+	switch e.Kind {
+	case KindMCQueues:
+		w.QueueObs++
+		w.reorderSum += uint64(e.V1)
+		w.caqSum += uint64(e.V2)
+		w.lpqSum += uint64(e.V3)
+		if e.V1 > w.ReorderMax {
+			w.ReorderMax = e.V1
+		}
+		if e.V2 > w.CAQMax {
+			w.CAQMax = e.V2
+		}
+		if e.V3 > w.LPQMax {
+			w.LPQMax = e.V3
+		}
+	case KindMCEnqueue:
+		if e.V1 != 0 {
+			w.Writes++
+		} else {
+			w.Reads++
+		}
+	case KindMCComplete:
+		w.Completions++
+		w.latSum += uint64(e.V1)
+	case KindMCPBHit:
+		w.PBHits++
+	case KindMCBankConflict:
+		w.BankConf++
+	case KindMCPFNominate:
+		w.PFNominated++
+	case KindMCPFDrop:
+		w.PFDropped++
+	case KindMCPFIssue:
+		w.PFIssued++
+	case KindMCPFLate:
+		w.PFLate++
+	case KindMCPFWasted:
+		w.PFWasted++
+	case KindDRAMAccess:
+		switch e.V1 {
+		case 0:
+			w.RowHits++
+		case 1:
+			w.RowMisses++
+		default:
+			w.RowConflicts++
+		}
+	case KindDRAMRefresh:
+		w.Refreshes++
+	case KindCacheAccess:
+		switch e.V1 {
+		case 1:
+			w.L1Hits++
+		case 2:
+			w.L2Hits++
+		case 3:
+			w.L3Hits++
+		default:
+			w.MemAccesses++
+		}
+	case KindCPUStall:
+		w.StallCycles += uint64(e.V1)
+	case KindASDEpochRoll:
+		w.EpochRolls++
+	case KindSchedPolicy:
+		w.Policy = e.V1
+		s.policy = e.V1
+	}
+}
+
+// finalize computes the derived means on a copy of w.
+func finalize(w Sample) Sample {
+	if w.QueueObs > 0 {
+		w.CAQMean = float64(w.caqSum) / float64(w.QueueObs)
+		w.ReorderMean = float64(w.reorderSum) / float64(w.QueueObs)
+		w.LPQMean = float64(w.lpqSum) / float64(w.QueueObs)
+	}
+	if w.Completions > 0 {
+		w.MeanReadLat = float64(w.latSum) / float64(w.Completions)
+	}
+	return w
+}
+
+// Samples returns the retained windows in chronological order with
+// derived means computed.
+func (s *Sampler) Samples() []Sample {
+	out := make([]Sample, len(s.samples))
+	for i := range s.samples {
+		out[i] = finalize(s.samples[i])
+	}
+	return out
+}
+
+// csvHeader lists the CSV column order; the run column is prepended by
+// WriteCSV so several runs can share one file.
+var csvHeader = []string{
+	"run", "window", "start_cycle",
+	"caq_mean", "caq_max", "reorder_mean", "reorder_max", "lpq_mean", "lpq_max",
+	"reads", "writes", "completions", "mean_read_lat", "pb_hits", "bank_conflicts",
+	"pf_nominated", "pf_dropped", "pf_issued", "pf_late", "pf_wasted",
+	"row_hits", "row_misses", "row_conflicts", "refreshes",
+	"l1_hits", "l2_hits", "l3_hits", "mem_accesses", "stall_cycles",
+	"epoch_rolls", "policy",
+}
+
+// CSVHeader writes the column header line.
+func CSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, join(csvHeader))
+	return err
+}
+
+// WriteCSV appends one row per retained window, tagged with the run
+// label in the first column. Call CSVHeader once per file first.
+func (s *Sampler) WriteCSV(w io.Writer, run string) error {
+	for _, sm := range s.Samples() {
+		row := []string{
+			run,
+			strconv.FormatUint(sm.Window, 10), strconv.FormatUint(sm.Start, 10),
+			ffmt(sm.CAQMean), strconv.FormatInt(sm.CAQMax, 10),
+			ffmt(sm.ReorderMean), strconv.FormatInt(sm.ReorderMax, 10),
+			ffmt(sm.LPQMean), strconv.FormatInt(sm.LPQMax, 10),
+			strconv.FormatUint(sm.Reads, 10), strconv.FormatUint(sm.Writes, 10),
+			strconv.FormatUint(sm.Completions, 10), ffmt(sm.MeanReadLat),
+			strconv.FormatUint(sm.PBHits, 10), strconv.FormatUint(sm.BankConf, 10),
+			strconv.FormatUint(sm.PFNominated, 10), strconv.FormatUint(sm.PFDropped, 10),
+			strconv.FormatUint(sm.PFIssued, 10), strconv.FormatUint(sm.PFLate, 10),
+			strconv.FormatUint(sm.PFWasted, 10),
+			strconv.FormatUint(sm.RowHits, 10), strconv.FormatUint(sm.RowMisses, 10),
+			strconv.FormatUint(sm.RowConflicts, 10), strconv.FormatUint(sm.Refreshes, 10),
+			strconv.FormatUint(sm.L1Hits, 10), strconv.FormatUint(sm.L2Hits, 10),
+			strconv.FormatUint(sm.L3Hits, 10), strconv.FormatUint(sm.MemAccesses, 10),
+			strconv.FormatUint(sm.StallCycles, 10),
+			strconv.FormatUint(sm.EpochRolls, 10), strconv.FormatInt(sm.Policy, 10),
+		}
+		if _, err := fmt.Fprintln(w, join(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes one JSON object per retained window, each with a
+// "run" field carrying the label.
+func (s *Sampler) WriteJSONL(w io.Writer, run string) error {
+	enc := json.NewEncoder(w)
+	for _, sm := range s.Samples() {
+		if err := enc.Encode(struct {
+			Run string `json:"run"`
+			Sample
+		}{run, sm}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ffmt(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
+
+func join(cells []string) string { return strings.Join(cells, ",") }

@@ -13,6 +13,7 @@ import (
 	"asdsim/internal/core"
 	"asdsim/internal/dram"
 	"asdsim/internal/mc"
+	"asdsim/internal/obs"
 	"asdsim/internal/prefetch"
 )
 
@@ -105,6 +106,14 @@ type Config struct {
 	// HitOverlap divides charged cache-hit latencies, modelling the
 	// out-of-order core's ability to overlap L2/L3 hits with execution.
 	HitOverlap uint64
+
+	// Obs, when non-nil, is attached to every instrumented component
+	// for the run: the memory controller, DRAM, cache hierarchy, CPU
+	// threads, ASD engines and the adaptive scheduler publish probe
+	// events into it. Excluded from JSON so serialized configurations
+	// (and the farm's content-addressed job keys) are unaffected by
+	// observer wiring.
+	Obs *obs.Bus `json:"-"`
 }
 
 // Default returns the paper's evaluated system in the given mode with a

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"asdsim/internal/cache"
 	"asdsim/internal/core"
@@ -11,6 +12,7 @@ import (
 	"asdsim/internal/dram"
 	"asdsim/internal/mc"
 	"asdsim/internal/mem"
+	"asdsim/internal/obs"
 	"asdsim/internal/prefetch"
 	"asdsim/internal/stats"
 	"asdsim/internal/trace"
@@ -60,6 +62,22 @@ type Result struct {
 
 	// PolicyEpochs reports adaptive-scheduling policy residency.
 	PolicyEpochs [6]uint64
+
+	// WallSeconds is the host wall-clock duration of the run and
+	// CyclesPerSec the simulation rate derived from it. Both are
+	// excluded from JSON: they vary run to run, and serialized Results
+	// (e.g. the farm's cached artifacts, compared bit-for-bit by the
+	// determinism tests) must depend only on simulated behavior.
+	WallSeconds  float64 `json:"-"`
+	CyclesPerSec float64 `json:"-"`
+}
+
+// stamp fills the wall-clock fields from the run's start time.
+func (res *Result) stamp(start time.Time) {
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.CyclesPerSec = float64(res.Cycles) / res.WallSeconds
+	}
 }
 
 // flightKind classifies an outstanding memory-system read.
@@ -132,6 +150,7 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	r, err := buildRunner(bench, cfg)
 	if err != nil {
 		return Result{}, err
@@ -139,7 +158,9 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	if err := r.loop(ctx); err != nil {
 		return Result{}, err
 	}
-	return r.collect(bench), nil
+	res := r.collect(bench)
+	res.stamp(start)
+	return res, nil
 }
 
 // RunTrace simulates arbitrary per-thread trace sources (one per
@@ -158,18 +179,23 @@ func RunTraceContext(ctx context.Context, name string, sources []trace.Source, c
 	if len(sources) != cfg.Threads {
 		return Result{}, fmt.Errorf("sim: %d trace sources for %d threads", len(sources), cfg.Threads)
 	}
+	start := time.Now()
 	r := newRunnerShell(cfg)
 	for t, src := range sources {
-		r.threads = append(r.threads, cpu.NewThread(t, src, cpu.Config{
+		th := cpu.NewThread(t, src, cpu.Config{
 			Window:             cfg.Window,
 			MaxOutstanding:     cfg.MaxOutstanding,
 			BudgetInstructions: cfg.InstrBudget,
-		}))
+		})
+		th.SetObserver(cfg.Obs)
+		r.threads = append(r.threads, th)
 	}
 	if err := r.loop(ctx); err != nil {
 		return Result{}, err
 	}
-	return r.collect(name), nil
+	res := r.collect(name)
+	res.stamp(start)
+	return res, nil
 }
 
 // buildRunner assembles the system for one named-benchmark run.
@@ -185,11 +211,13 @@ func buildRunner(bench string, cfg Config) (*runner, error) {
 			return nil, err
 		}
 		r.gens = append(r.gens, g)
-		r.threads = append(r.threads, cpu.NewThread(t, g, cpu.Config{
+		th := cpu.NewThread(t, g, cpu.Config{
 			Window:             cfg.Window,
 			MaxOutstanding:     cfg.MaxOutstanding,
 			BudgetInstructions: cfg.InstrBudget,
-		}))
+		})
+		th.SetObserver(cfg.Obs)
+		r.threads = append(r.threads, th)
 	}
 	return r, nil
 }
@@ -204,12 +232,20 @@ func newRunnerShell(cfg Config) *runner {
 	var adaptive *core.AdaptiveScheduler
 	if cfg.msEnabled() {
 		for t := 0; t < cfg.Threads; t++ {
-			r.engines = append(r.engines, newEngine(cfg))
+			eng := newEngine(cfg)
+			if o, ok := eng.(interface{ SetObserver(*obs.Bus) }); ok {
+				o.SetObserver(cfg.Obs)
+			}
+			r.engines = append(r.engines, eng)
 		}
 		adaptive = core.NewAdaptiveScheduler(cfg.Sched)
+		adaptive.SetObserver(cfg.Obs)
 	}
 	r.ctrl = mc.New(cfg.MC, r.dram, r.engines, adaptive)
 	r.ctrl.SetReadDone(r.onReadDone)
+	r.ctrl.SetObserver(cfg.Obs)
+	r.hier.SetObserver(cfg.Obs)
+	r.dram.SetObserver(cfg.Obs)
 
 	if cfg.psEnabled() {
 		r.ps = prefetch.NewPS(cfg.PS)
@@ -375,7 +411,7 @@ func (r *runner) stepUntilFlightDone(ctx context.Context, f *flight) error {
 func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
 	line := mem.LineOf(rec.Addr)
 	store := rec.Op == trace.Store
-	res := r.hier.Access(line, store)
+	res := r.hier.Access(line, store, th.Now)
 	r.enqueueWritebacks(res.Writebacks, th)
 
 	// The PS unit watches the demand reference stream at line granularity
