@@ -10,22 +10,35 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"asdsim/internal/mem"
 )
 
+// maxAssoc bounds associativity so a set's LRU recency order packs into
+// one uint64 (4 bits per way).
+const maxAssoc = 16
+
 // Cache is one set-associative, write-back cache level with true-LRU
 // replacement.
+//
+// Per-set replacement state is packed: order holds the set's way
+// indices as nibbles, most-recently-used first, and valid/dirty are
+// per-set way bitmasks. A lookup therefore touches only the tag array,
+// and victim selection is pure bit arithmetic instead of a timestamp
+// scan — the caches sit on the simulator's per-access hot path.
 type Cache struct {
-	name  string
-	sets  int
-	assoc int
+	name     string
+	sets     int
+	setMask  uint64 // sets-1 when sets is a power of two, else 0
+	assoc    int
+	fullMask uint16
+	ident    uint64 // identity recency permutation for this assoc
 
-	tags  []uint64 // per way-slot: line tag (full line number)
-	valid []bool
-	dirty []bool
-	used  []uint64 // LRU timestamps
-	tick  uint64
+	tags  []uint64 // per way-slot (set-major): line tag (full line number)
+	order []uint64 // per set: packed way permutation, MRU nibble first
+	valid []uint16 // per set: valid-way bitmask
+	dirty []uint16 // per set: dirty-way bitmask
 
 	// Stats.
 	Accesses uint64
@@ -38,6 +51,9 @@ func New(name string, sizeBytes, assoc int) *Cache {
 	if sizeBytes <= 0 || assoc <= 0 {
 		panic(fmt.Sprintf("cache %s: non-positive geometry", name))
 	}
+	if assoc > maxAssoc {
+		panic(fmt.Sprintf("cache %s: assoc %d exceeds packed-LRU limit %d", name, assoc, maxAssoc))
+	}
 	lines := sizeBytes / mem.LineSize
 	if lines*mem.LineSize != sizeBytes {
 		panic(fmt.Sprintf("cache %s: size %d not a multiple of line size", name, sizeBytes))
@@ -46,15 +62,26 @@ func New(name string, sizeBytes, assoc int) *Cache {
 	if sets*assoc != lines {
 		panic(fmt.Sprintf("cache %s: %d lines not divisible by assoc %d", name, lines, assoc))
 	}
-	return &Cache{
+	c := &Cache{
 		name:  name,
 		sets:  sets,
 		assoc: assoc,
 		tags:  make([]uint64, lines),
-		valid: make([]bool, lines),
-		dirty: make([]bool, lines),
-		used:  make([]uint64, lines),
+		order: make([]uint64, sets),
+		valid: make([]uint16, sets),
+		dirty: make([]uint16, sets),
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+	}
+	c.fullMask = uint16(1)<<assoc - 1
+	for w := 0; w < assoc; w++ {
+		c.ident |= uint64(w) << (4 * w)
+	}
+	for s := range c.order {
+		c.order[s] = c.ident
+	}
+	return c
 }
 
 // Name returns the cache's name.
@@ -70,40 +97,71 @@ func (c *Cache) Assoc() int { return c.assoc }
 func (c *Cache) SizeBytes() int { return c.sets * c.assoc * mem.LineSize }
 
 // setOf maps a line to its set by modulo, which accommodates the
-// Power5+'s non-power-of-two L2 (three 640 KB slices, 1536 sets total).
-func (c *Cache) setOf(l mem.Line) int { return int(uint64(l) % uint64(c.sets)) }
+// Power5+'s non-power-of-two L2 (three 640 KB slices, 1536 sets total);
+// power-of-two geometries take the mask fast path (no hardware divide).
+func (c *Cache) setOf(l mem.Line) int {
+	if c.setMask != 0 {
+		return int(uint64(l) & c.setMask)
+	}
+	return int(uint64(l) % uint64(c.sets))
+}
 
-// find returns the way-slot index of line, or -1.
-func (c *Cache) find(l mem.Line) int {
-	base := c.setOf(l) * c.assoc
+// find returns the set and way of line, or way -1. The tag is compared
+// before the valid bit so a probe normally touches only the tag array
+// (a zero tag can false-match a probe for line 0, which the valid check
+// then rejects).
+func (c *Cache) find(l mem.Line) (set, way int) {
+	set = c.setOf(l)
+	base := set * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == uint64(l) {
-			return i
+		if c.tags[base+w] == uint64(l) && c.valid[set]>>w&1 == 1 {
+			return set, w
 		}
 	}
-	return -1
+	return set, -1
+}
+
+// touchMRU moves way to the front of set's recency order.
+func (c *Cache) touchMRU(set, way int) {
+	ord := c.order[set]
+	if int(ord&0xF) == way {
+		return
+	}
+	p := c.posOf(ord, way)
+	low := ord & (1<<(4*p) - 1)
+	c.order[set] = ord&^(1<<(4*(p+1))-1) | low<<4 | uint64(way)
+}
+
+// posOf returns the nibble position of way within ord.
+func (c *Cache) posOf(ord uint64, way int) uint {
+	for p := uint(0); ; p++ {
+		if int(ord>>(4*p)&0xF) == way {
+			return p
+		}
+	}
 }
 
 // Lookup probes for line; on a hit it refreshes LRU state and, if store,
 // marks the line dirty. It counts toward the hit/access statistics.
 func (c *Cache) Lookup(l mem.Line, store bool) bool {
 	c.Accesses++
-	i := c.find(l)
-	if i < 0 {
+	set, way := c.find(l)
+	if way < 0 {
 		return false
 	}
 	c.Hits++
-	c.tick++
-	c.used[i] = c.tick
+	c.touchMRU(set, way)
 	if store {
-		c.dirty[i] = true
+		c.dirty[set] |= 1 << way
 	}
 	return true
 }
 
 // Contains reports presence without disturbing LRU state or statistics.
-func (c *Cache) Contains(l mem.Line) bool { return c.find(l) >= 0 }
+func (c *Cache) Contains(l mem.Line) bool {
+	_, way := c.find(l)
+	return way >= 0
+}
 
 // Victim describes a line evicted by an Insert.
 type Victim struct {
@@ -115,37 +173,37 @@ type Victim struct {
 // victim if any. Inserting a line already present just refreshes its LRU
 // state (and ORs in dirty).
 func (c *Cache) Insert(l mem.Line, dirty bool) (Victim, bool) {
-	c.tick++
-	if i := c.find(l); i >= 0 {
-		c.used[i] = c.tick
-		c.dirty[i] = c.dirty[i] || dirty
-		return Victim{}, false
-	}
-	base := c.setOf(l) * c.assoc
-	victimIdx := base
-	var oldest uint64 = ^uint64(0)
+	set := c.setOf(l)
+	base := set * c.assoc
+	vm := c.valid[set]
 	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victimIdx = i
-			oldest = 0
-			break
-		}
-		if c.used[i] < oldest {
-			oldest = c.used[i]
-			victimIdx = i
+		if c.tags[base+w] == uint64(l) && vm>>w&1 == 1 {
+			c.touchMRU(set, w)
+			if dirty {
+				c.dirty[set] |= 1 << w
+			}
+			return Victim{}, false
 		}
 	}
+	// Victim: the first invalid way, else the set's LRU way.
+	var way int
 	var v Victim
 	evicted := false
-	if c.valid[victimIdx] {
-		v = Victim{Line: mem.Line(c.tags[victimIdx]), Dirty: c.dirty[victimIdx]}
+	if vm != c.fullMask {
+		way = bits.TrailingZeros16(^vm & c.fullMask)
+	} else {
+		way = int(c.order[set] >> (4 * (c.assoc - 1)) & 0xF)
+		v = Victim{Line: mem.Line(c.tags[base+way]), Dirty: c.dirty[set]>>way&1 == 1}
 		evicted = true
 	}
-	c.tags[victimIdx] = uint64(l)
-	c.valid[victimIdx] = true
-	c.dirty[victimIdx] = dirty
-	c.used[victimIdx] = c.tick
+	c.tags[base+way] = uint64(l)
+	c.valid[set] |= 1 << way
+	if dirty {
+		c.dirty[set] |= 1 << way
+	} else {
+		c.dirty[set] &^= 1 << way
+	}
+	c.touchMRU(set, way)
 	return v, evicted
 }
 
@@ -153,8 +211,16 @@ func (c *Cache) Insert(l mem.Line, dirty bool) (Victim, bool) {
 // low-confidence fills). Behaviour otherwise matches Insert.
 func (c *Cache) InsertLRU(l mem.Line, dirty bool) (Victim, bool) {
 	v, ev := c.Insert(l, dirty)
-	if i := c.find(l); i >= 0 {
-		c.used[i] = 0
+	if set, way := c.find(l); way >= 0 {
+		// Demote from MRU (where Insert put it) to LRU: remove its
+		// nibble and re-append at the back.
+		ord := c.order[set]
+		p := c.posOf(ord, way)
+		top := c.assoc - 1
+		keepLow := ord & (1<<(4*p) - 1)
+		mid := ord >> (4 * (p + 1)) << (4 * p) // nibbles above p shift down
+		mid &= 1<<(4*top) - 1
+		c.order[set] = keepLow | mid&^(1<<(4*p)-1) | uint64(way)<<(4*top)
 	}
 	return v, ev
 }
@@ -162,12 +228,13 @@ func (c *Cache) InsertLRU(l mem.Line, dirty bool) (Victim, bool) {
 // Invalidate removes line if present, returning whether it was present
 // and dirty.
 func (c *Cache) Invalidate(l mem.Line) (present, dirty bool) {
-	i := c.find(l)
-	if i < 0 {
+	set, way := c.find(l)
+	if way < 0 {
 		return false, false
 	}
-	c.valid[i] = false
-	return true, c.dirty[i]
+	dirty = c.dirty[set]>>way&1 == 1
+	c.valid[set] &^= 1 << way
+	return true, dirty
 }
 
 // HitRate returns hits/accesses (0 when unused).
@@ -178,14 +245,14 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.Hits) / float64(c.Accesses)
 }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics. Stale tags are harmless (the
+// valid mask rejects them) and the recency orders stay valid
+// permutations, so only the per-set masks need clearing.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.used[i] = 0
+	for s := range c.valid {
+		c.valid[s] = 0
+		c.dirty[s] = 0
 	}
-	c.tick = 0
 	c.Accesses = 0
 	c.Hits = 0
 }

@@ -72,6 +72,10 @@ type Hierarchy struct {
 	WritebacksToMemory uint64
 
 	bus *obs.Bus // nil when no observer is attached
+
+	// wbs is the reusable writeback scratch returned by Access/Fill/
+	// FillL2Only; it is valid only until the next hierarchy call.
+	wbs []mem.Line
 }
 
 // NewHierarchy builds a hierarchy from cfg.
@@ -92,7 +96,9 @@ type Result struct {
 	// Level != Memory (memory latency is decided by the MC/DRAM model).
 	Latency uint64
 	// Writebacks lists dirty lines that must be written to memory as a
-	// consequence of this access (L3 victim-cache spills).
+	// consequence of this access (L3 victim-cache spills). The slice
+	// aliases a scratch buffer owned by the Hierarchy and is valid only
+	// until the next Access/Fill/FillL2Only call.
 	Writebacks []mem.Line
 }
 
@@ -122,14 +128,16 @@ func (h *Hierarchy) access(line mem.Line, store bool) Result {
 		return Result{Level: LevelL1, Latency: h.cfg.L1Lat}
 	}
 	if h.L2.Lookup(line, store) {
-		wbs := h.fillL1(line, false)
-		return Result{Level: LevelL2, Latency: h.cfg.L2Lat, Writebacks: wbs}
+		h.wbs = h.wbs[:0]
+		h.fillL1(line, false)
+		return Result{Level: LevelL2, Latency: h.cfg.L2Lat, Writebacks: h.wbs}
 	}
 	if h.L3.Lookup(line, false) {
 		// Victim hit: promote into L2+L1 and drop from L3.
 		_, dirty := h.L3.Invalidate(line)
-		wbs := h.fillL2(line, dirty || store)
-		return Result{Level: LevelL3, Latency: h.cfg.L3Lat, Writebacks: wbs}
+		h.wbs = h.wbs[:0]
+		h.fillL2(line, dirty || store)
+		return Result{Level: LevelL3, Latency: h.cfg.L3Lat, Writebacks: h.wbs}
 	}
 	h.DemandMisses++
 	return Result{Level: Memory}
@@ -137,54 +145,56 @@ func (h *Hierarchy) access(line mem.Line, store bool) Result {
 
 // Fill installs a line arriving from memory into L2 and L1 (the Power5+
 // demand-fill path), returning any dirty lines spilled to memory. store
-// marks the line dirty on arrival (write-allocate).
+// marks the line dirty on arrival (write-allocate). The returned slice
+// aliases a scratch buffer and is valid only until the next hierarchy
+// call.
 func (h *Hierarchy) Fill(line mem.Line, store bool) []mem.Line {
-	return h.fillL2(line, store)
+	h.wbs = h.wbs[:0]
+	h.fillL2(line, store)
+	return h.wbs
 }
 
 // FillL2Only installs a prefetched line into the L2 without touching the
 // L1, which is how the Power5+ processor-side prefetcher stages its
-// further-ahead lines.
+// further-ahead lines. The returned slice aliases a scratch buffer and
+// is valid only until the next hierarchy call.
 func (h *Hierarchy) FillL2Only(line mem.Line) []mem.Line {
-	var wbs []mem.Line
+	h.wbs = h.wbs[:0]
 	if v, ev := h.L2.Insert(line, false); ev {
-		wbs = h.spillToL3(v, wbs)
+		h.spillToL3(v)
 	}
-	return wbs
+	return h.wbs
 }
 
-// fillL2 inserts into L2 (spilling its victim to L3) and then into L1.
-func (h *Hierarchy) fillL2(line mem.Line, dirty bool) []mem.Line {
-	var wbs []mem.Line
+// fillL2 inserts into L2 (spilling its victim to L3) and then into L1,
+// appending any memory writebacks to h.wbs.
+func (h *Hierarchy) fillL2(line mem.Line, dirty bool) {
 	if v, ev := h.L2.Insert(line, dirty); ev {
-		wbs = h.spillToL3(v, wbs)
+		h.spillToL3(v)
 	}
-	wbs = append(wbs, h.fillL1(line, false)...)
-	return wbs
+	h.fillL1(line, false)
 }
 
 // fillL1 inserts into L1; L1 victims are write-through into L2 here
 // because the modelled L1 is store-in: dirty victims merge into L2.
-func (h *Hierarchy) fillL1(line mem.Line, dirty bool) []mem.Line {
-	var wbs []mem.Line
+// Memory writebacks are appended to h.wbs.
+func (h *Hierarchy) fillL1(line mem.Line, dirty bool) {
 	if v, ev := h.L1.Insert(line, dirty); ev && v.Dirty {
 		// Dirty L1 victim merges into L2 (it is normally present;
 		// if it was evicted from L2 first, reinstall it dirty).
 		if v2, ev2 := h.L2.Insert(v.Line, true); ev2 {
-			wbs = h.spillToL3(v2, wbs)
+			h.spillToL3(v2)
 		}
 	}
-	return wbs
 }
 
 // spillToL3 pushes an L2 victim into the L3; dirty L3 victims become
-// memory writebacks appended to wbs.
-func (h *Hierarchy) spillToL3(v Victim, wbs []mem.Line) []mem.Line {
+// memory writebacks appended to h.wbs.
+func (h *Hierarchy) spillToL3(v Victim) {
 	if v3, ev3 := h.L3.Insert(v.Line, v.Dirty); ev3 && v3.Dirty {
 		h.WritebacksToMemory++
-		wbs = append(wbs, v3.Line)
+		h.wbs = append(h.wbs, v3.Line)
 	}
-	return wbs
 }
 
 // Contains reports whether any level holds the line (no state change).

@@ -68,6 +68,8 @@ type Engine struct {
 	PrefetchesIssued  uint64
 
 	bus *obs.Bus // nil when no observer is attached
+
+	out []mem.Line // reusable nomination scratch
 }
 
 // NewEngine returns an Engine for cfg.
@@ -116,7 +118,8 @@ func (e *Engine) onStreamEnd(length int, dir mem.Direction) {
 // engine and returns the lines to prefetch (possibly none). The decision
 // follows §3.4: the Stream Filter classifies the Read as the k-th element
 // of a stream; inequality (5)/(6) against the direction's LHTcurr decides
-// whether and how far to prefetch.
+// whether and how far to prefetch. The returned slice aliases a scratch
+// buffer owned by the engine and is valid only until the next call.
 func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	o := e.filter.Observe(line, now)
 	e.readsInEpoch++
@@ -132,7 +135,7 @@ func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	// A new stream's direction is initialized Positive (§3.3), so the
 	// k=1 decision consults the ascending table only; the descending
 	// table takes over once the second access commits the direction.
-	var out []mem.Line
+	out := e.out[:0]
 	tbl := e.up
 	if o.Length > 1 && o.Dir == mem.Down {
 		tbl = e.down
@@ -140,6 +143,7 @@ func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	if d := tbl.PrefetchDegree(o.Length, e.cfg.MaxDegree); d > 0 {
 		out = appendRun(out, line, int(o.Dir), d)
 	}
+	e.out = out
 	e.PrefetchesIssued += uint64(len(out))
 	if e.bus != nil {
 		e.bus.Emit(obs.Event{Kind: obs.KindASDPrefetchDecision, Cycle: now, Line: line,

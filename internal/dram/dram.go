@@ -95,6 +95,13 @@ type bank struct {
 	// refreshSeen is the index of the last auto-refresh window already
 	// applied to this bank (refresh is applied lazily on access).
 	refreshSeen uint64
+	// refOffset is the rank's refresh stagger offset (fixed at New) and
+	// refDue the next cycle at which an unapplied refresh boundary
+	// passes: refOffset + (refreshSeen+1)*TREFI. applyRefresh's fast
+	// path is a single compare against refDue instead of re-deriving
+	// the boundary index by division on every bank query.
+	refOffset uint64
+	refDue    uint64
 }
 
 // DRAM is the memory device array plus channel.
@@ -127,11 +134,32 @@ func New(cfg Config) *DRAM {
 		panic(fmt.Sprintf("dram: invalid timing %+v", t))
 	}
 	total := g.Ranks * g.BanksPerRank
-	return &DRAM{
+	d := &DRAM{
 		cfg:         cfg,
 		banks:       make([]bank, total),
 		linesPerRow: uint64(g.RowBytes / mem.LineSize),
 		totalBanks:  uint64(total),
+	}
+	d.initRefresh()
+	return d
+}
+
+// initRefresh seeds each bank's refresh stagger offset and first due
+// cycle (^uint64(0) when refresh is disabled, so the fast path's single
+// compare always fails).
+func (d *DRAM) initRefresh() {
+	t := d.cfg.Timing
+	g := d.cfg.Geometry
+	for i := range d.banks {
+		bk := &d.banks[i]
+		if t.TREFI <= 0 {
+			bk.refOffset = 0
+			bk.refDue = ^uint64(0)
+			continue
+		}
+		rank := i / g.BanksPerRank
+		bk.refOffset = uint64(rank) * uint64(t.TREFI) / uint64(g.Ranks)
+		bk.refDue = bk.refOffset + uint64(t.TREFI)
 	}
 }
 
@@ -142,42 +170,48 @@ func (d *DRAM) Config() Config { return d.cfg }
 // their DRAM-cycle timestamps to CPU cycles before publishing.
 func (d *DRAM) SetObserver(b *obs.Bus) { d.bus = b }
 
-// decode maps a line to (bank index, row). Lines interleave across
-// columns first, then banks, then rows — the standard open-page mapping
-// that gives streams row-buffer hits and spreads independent streams over
+// Decoded is a line's (bank, row) address decomposition. Decoding costs
+// two integer divisions, and the controller interrogates the same line's
+// bank many times per queued command (CanIssue, BankBusy, WouldRowHit,
+// Issue, scheduler scoring) — so callers decode once at command
+// admission and pass the Decoded value to the *D method variants below.
+type Decoded struct {
+	Bank int
+	Row  uint64
+}
+
+// Decode maps a line to its (bank, row). Lines interleave across columns
+// first, then banks, then rows — the standard open-page mapping that
+// gives streams row-buffer hits and spreads independent streams over
 // banks.
-func (d *DRAM) decode(l mem.Line) (bankIdx int, row uint64) {
-	n := uint64(l)
-	col := n / d.linesPerRow
-	return int(col % d.totalBanks), col / d.totalBanks
+func (d *DRAM) Decode(l mem.Line) Decoded {
+	col := uint64(l) / d.linesPerRow
+	return Decoded{Bank: int(col % d.totalBanks), Row: col / d.totalBanks}
 }
 
 // BankOf returns the bank index a line maps to.
 func (d *DRAM) BankOf(l mem.Line) int {
-	b, _ := d.decode(l)
-	return b
+	return d.Decode(l).Bank
 }
 
 // applyRefresh lazily accounts auto-refresh for the bank: every TREFI
 // clocks the bank's rank refreshes, closing the open row and holding the
 // bank for TRFC. Refresh slots are staggered across ranks by a quarter
 // interval so all ranks never pause at once.
+// applyRefresh's fast path: a bank is up to date until its precomputed
+// refDue cycle passes, so the common case is one compare. The slow path
+// derives the boundary index k and charges all elapsed refreshes at
+// once (refresh is applied lazily; an idle span of many TREFI windows is
+// fast-forwarded in this single step rather than integrated per window).
 func (d *DRAM) applyRefresh(bankIdx int, bk *bank, now uint64) {
+	if now < bk.refDue {
+		return
+	}
 	t := d.cfg.Timing
-	if t.TREFI <= 0 {
-		return
-	}
-	rank := bankIdx / d.cfg.Geometry.BanksPerRank
-	offset := uint64(rank) * uint64(t.TREFI) / uint64(d.cfg.Geometry.Ranks)
-	if now < offset {
-		return
-	}
-	k := (now - offset) / uint64(t.TREFI)
-	if k == 0 || k <= bk.refreshSeen {
-		return
-	}
-	refEnd := offset + k*uint64(t.TREFI) + uint64(t.TRFC)
+	k := (now - bk.refOffset) / uint64(t.TREFI)
+	refEnd := bk.refOffset + k*uint64(t.TREFI) + uint64(t.TRFC)
 	bk.refreshSeen = k
+	bk.refDue = bk.refOffset + (k+1)*uint64(t.TREFI)
 	bk.rowOpen = false
 	if refEnd > bk.readyAt {
 		bk.readyAt = refEnd
@@ -192,8 +226,12 @@ func (d *DRAM) applyRefresh(bankIdx int, bk *bank, now uint64) {
 // cycle now, and whether the occupying command was a memory-side
 // prefetch.
 func (d *DRAM) BankBusy(l mem.Line, now uint64) (busy, byPrefetch bool) {
-	b, _ := d.decode(l)
-	bk := &d.banks[b]
+	return d.BankBusyD(d.Decode(l), now)
+}
+
+// BankBusyD is BankBusy for a pre-decoded line.
+func (d *DRAM) BankBusyD(dec Decoded, now uint64) (busy, byPrefetch bool) {
+	bk := &d.banks[dec.Bank]
 	if bk.busyUntil > now {
 		return true, bk.lastWasPrefetch
 	}
@@ -203,18 +241,32 @@ func (d *DRAM) BankBusy(l mem.Line, now uint64) (busy, byPrefetch bool) {
 // CanIssue reports whether a command for line could begin at cycle now
 // without waiting on its bank (the data bus may still delay the burst).
 func (d *DRAM) CanIssue(l mem.Line, now uint64) bool {
-	b, _ := d.decode(l)
-	bk := &d.banks[b]
-	d.applyRefresh(b, bk, now)
+	return d.CanIssueD(d.Decode(l), now)
+}
+
+// CanIssueD is CanIssue for a pre-decoded line.
+func (d *DRAM) CanIssueD(dec Decoded, now uint64) bool {
+	bk := &d.banks[dec.Bank]
+	d.applyRefresh(dec.Bank, bk, now)
 	return bk.readyAt <= now
 }
+
+// ReadyAtD returns a lower bound on the first DRAM cycle at which the
+// pre-decoded line's bank could accept a command; a pending refresh may
+// push the true ready time later, so callers must still confirm with
+// CanIssueD at that cycle. It does not mutate bank state.
+func (d *DRAM) ReadyAtD(dec Decoded) uint64 { return d.banks[dec.Bank].readyAt }
 
 // WouldRowHit reports whether line would hit its bank's open row (the
 // AHB scheduler uses this to prefer row-buffer hits).
 func (d *DRAM) WouldRowHit(l mem.Line) bool {
-	b, row := d.decode(l)
-	bk := &d.banks[b]
-	return bk.rowOpen && bk.row == row
+	return d.WouldRowHitD(d.Decode(l))
+}
+
+// WouldRowHitD is WouldRowHit for a pre-decoded line.
+func (d *DRAM) WouldRowHitD(dec Decoded) bool {
+	bk := &d.banks[dec.Bank]
+	return bk.rowOpen && bk.row == dec.Row
 }
 
 // Issue performs a read or write of line starting no earlier than cycle
@@ -223,11 +275,17 @@ func (d *DRAM) WouldRowHit(l mem.Line) bool {
 // charges precharge+activate on row misses, and serialises bursts on the
 // shared data bus. isPrefetch tags the bank for conflict attribution.
 func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
+	return d.IssueD(l, d.Decode(l), isWrite, isPrefetch, now)
+}
+
+// IssueD is Issue for a pre-decoded line (l is still needed for probe
+// events).
+func (d *DRAM) IssueD(l mem.Line, dec Decoded, isWrite, isPrefetch bool, now uint64) uint64 {
 	if !d.sawFirst {
 		d.firstCycle = now
 		d.sawFirst = true
 	}
-	b, row := d.decode(l)
+	b, row := dec.Bank, dec.Row
 	bk := &d.banks[b]
 	t := d.cfg.Timing
 	d.applyRefresh(b, bk, now)
@@ -376,6 +434,7 @@ func (d *DRAM) Reset() {
 	for i := range d.banks {
 		d.banks[i] = bank{}
 	}
+	d.initRefresh()
 	d.busFreeAt = 0
 	d.lastCycle = 0
 	d.firstCycle = 0

@@ -52,7 +52,7 @@ func (memorylessArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, _
 	}
 	best := -1
 	for i, c := range queue {
-		if !d.CanIssue(c.cmd.Line, dramNow) {
+		if !d.CanIssueD(c.dec, dramNow) {
 			continue
 		}
 		if best == -1 || c.cmd.ID < queue[best].cmd.ID {
@@ -110,15 +110,15 @@ func (a *ahbArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, write
 	best, bestScore := -1, -1
 	for i, c := range queue {
 		score := 0
-		if d.CanIssue(c.cmd.Line, dramNow) {
+		if d.CanIssueD(c.dec, dramNow) {
 			score += 16
 		}
-		if d.WouldRowHit(c.cmd.Line) {
+		if d.WouldRowHitD(c.dec) {
 			score += 8
 		}
 		// Command-pattern optimization: avoid banks used by the recent
 		// history so consecutive commands overlap in different banks.
-		bank := d.BankOf(c.cmd.Line)
+		bank := c.dec.Bank
 		clash := false
 		for _, h := range a.history[:a.histLen] {
 			if h == bank {
@@ -143,9 +143,9 @@ func (a *ahbArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, write
 	return best
 }
 
-func (a *ahbArbiter) issued(cmd *cmdState, d *dram.DRAM) {
+func (a *ahbArbiter) issued(cmd *cmdState, _ *dram.DRAM) {
 	copy(a.history[1:], a.history[:ahbHistoryLen-1])
-	a.history[0] = d.BankOf(cmd.cmd.Line)
+	a.history[0] = cmd.dec.Bank
 	if a.histLen < ahbHistoryLen {
 		a.histLen++
 	}

@@ -1,0 +1,45 @@
+package mc
+
+import (
+	"testing"
+
+	"asdsim/internal/core"
+	"asdsim/internal/dram"
+	"asdsim/internal/mem"
+)
+
+// TestSteadyStateStepDoesNotAllocate pins the allocation-free kernel: once
+// the freelists, ring buffers, and scratch slices have warmed up, driving
+// the full MC pipeline (enqueue, reorder queues, arbitration, DRAM issue,
+// prefetch engine, completions) must not touch the heap.
+func TestSteadyStateStepDoesNotAllocate(t *testing.T) {
+	d := dram.New(dram.DefaultConfig())
+	sched := core.NewAdaptiveScheduler(core.DefaultSchedulerConfig())
+	c := New(DefaultConfig(), d, asdEngines(1), sched)
+	c.SetReadDone(func(mem.Command, uint64) {})
+
+	var now, id uint64
+	var line mem.Line
+	step := func() {
+		now += mem.CPUCyclesPerMCCycle
+		// A sustainable demand stream (one sequential read every fourth
+		// MC cycle, plus a write every 64th) keeps every pipeline stage
+		// active: stream detection, LPQ prefetches, PB traffic, DRAM.
+		if now%16 == 0 {
+			id++
+			line++
+			c.Enqueue(mem.Command{Kind: mem.Read, Line: line, Arrival: now, ID: id})
+		}
+		if now%256 == 0 {
+			id++
+			c.Enqueue(mem.Command{Kind: mem.Write, Line: line - 8, Arrival: now, ID: id})
+		}
+		c.Step(now)
+	}
+	for i := 0; i < 20000; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(5000, step); avg != 0 {
+		t.Errorf("steady-state MC step allocates %.3f allocs/op, want 0", avg)
+	}
+}

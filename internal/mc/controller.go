@@ -5,6 +5,13 @@
 // Priority Queue (LPQ), a Prefetch Buffer, and a Final Scheduler that
 // arbitrates prefetches against regular commands under Adaptive
 // Scheduling.
+//
+// The controller is the simulator's innermost loop (one Step per MC
+// cycle across every run of a farm sweep), so its data structures are
+// allocation-free in steady state: command and prefetch state objects
+// come from freelist pools, the queues are fixed-capacity ring buffers,
+// and each line's DRAM (bank, row) decode is computed once at admission
+// and carried with the command.
 package mc
 
 import (
@@ -55,18 +62,27 @@ func DefaultConfig() Config {
 	}
 }
 
-// cmdState wraps a queued regular command.
+// cmdState wraps a queued regular command. Instances are pooled by the
+// controller: a cmdState is live from Enqueue until its command leaves
+// the system (PB hit, prefetch merge, write issue, or demand-read
+// completion) and is then recycled.
 type cmdState struct {
-	cmd             mem.Command
+	cmd mem.Command
+	// dec is the command line's DRAM (bank, row) decode, computed once
+	// at Enqueue so bank queries along the command's life stop
+	// re-dividing.
+	dec             dram.Decoded
 	isWrite         bool
 	done            uint64 // completion cycle once issued to DRAM
 	delayedCounted  bool
 	conflictCounted bool
 }
 
-// pfState is one memory-side prefetch in the LPQ or in flight.
+// pfState is one memory-side prefetch in the LPQ or in flight. Pooled
+// like cmdState; the waiters slice keeps its capacity across recycles.
 type pfState struct {
 	line    mem.Line
+	dec     dram.Decoded
 	arrival uint64
 	doneAt  uint64
 	depth   int // 1 = line adjacent to the trigger
@@ -104,13 +120,26 @@ type Controller struct {
 	engines  []prefetch.MSEngine // per-thread; nil slice disables MS prefetching
 	adaptive *core.AdaptiveScheduler
 
-	inbox    []*cmdState
-	readQ    []*cmdState
-	writeQ   []*cmdState
-	caq      []*cmdState
-	lpq      []*pfState
+	inbox  ring[*cmdState]
+	readQ  ring[*cmdState]
+	writeQ ring[*cmdState]
+	caq    ring[*cmdState]
+	lpq    ring[*pfState]
+
 	inflight []*cmdState // demand reads issued to DRAM
 	pfFlight []*pfState
+	// nextDemandDone and nextPFDone cache the minimum completion cycle
+	// across inflight/pfFlight (^uint64(0) when empty), so NextWake is
+	// O(1) instead of scanning both lists. They are updated on insert
+	// and recomputed during the completion passes' compaction sweep.
+	nextDemandDone uint64
+	nextPFDone     uint64
+
+	// cmdPool and pfPool are freelists; merged is the scheduler's
+	// reusable read+write scratch view.
+	cmdPool []*cmdState
+	pfPool  []*pfState
+	merged  []*cmdState
 
 	pb         *PBuffer
 	arb        arbiter
@@ -135,12 +164,51 @@ func New(cfg Config, d *dram.DRAM, engines []prefetch.MSEngine, adaptive *core.A
 			panic("mc: prefetching enabled without an adaptive scheduler")
 		}
 	}
-	c := &Controller{cfg: cfg, dram: d, engines: engines, adaptive: adaptive}
+	c := &Controller{
+		cfg: cfg, dram: d, engines: engines, adaptive: adaptive,
+		inbox:          newRing[*cmdState](16),
+		readQ:          newRing[*cmdState](cfg.ReadQueueCap),
+		writeQ:         newRing[*cmdState](cfg.WriteQueueCap),
+		caq:            newRing[*cmdState](cfg.CAQCap),
+		lpq:            newRing[*pfState](max(cfg.LPQCap, 1)),
+		nextDemandDone: ^uint64(0),
+		nextPFDone:     ^uint64(0),
+	}
 	c.arb = newArbiter(cfg.Scheduler)
 	if len(engines) > 0 {
 		c.pb = NewPBuffer(cfg.PBLines, cfg.PBAssoc)
 	}
 	return c
+}
+
+// getCmd takes a cmdState from the pool (or allocates the pool's first
+// generation).
+func (c *Controller) getCmd() *cmdState {
+	if n := len(c.cmdPool); n > 0 {
+		s := c.cmdPool[n-1]
+		c.cmdPool = c.cmdPool[:n-1]
+		return s
+	}
+	return new(cmdState)
+}
+
+// putCmd recycles a cmdState. Callers must be done with every field.
+func (c *Controller) putCmd(s *cmdState) { c.cmdPool = append(c.cmdPool, s) }
+
+// getPF takes a pfState from the pool, preserving waiters capacity.
+func (c *Controller) getPF() *pfState {
+	if n := len(c.pfPool); n > 0 {
+		p := c.pfPool[n-1]
+		c.pfPool = c.pfPool[:n-1]
+		return p
+	}
+	return new(pfState)
+}
+
+// putPF recycles a pfState.
+func (c *Controller) putPF(p *pfState) {
+	p.waiters = p.waiters[:0]
+	c.pfPool = append(c.pfPool, p)
 }
 
 // SetReadDone installs the completion callback for demand Reads.
@@ -164,7 +232,9 @@ func (c *Controller) Adaptive() *core.AdaptiveScheduler { return c.adaptive }
 // next Step. Commands are processed in Enqueue order.
 func (c *Controller) Enqueue(cmd mem.Command) {
 	isWrite := cmd.Kind == mem.Write
-	c.inbox = append(c.inbox, &cmdState{cmd: cmd, isWrite: isWrite})
+	s := c.getCmd()
+	*s = cmdState{cmd: cmd, dec: c.dram.Decode(cmd.Line), isWrite: isWrite}
+	c.inbox.PushBack(s)
 	if c.bus != nil {
 		var w int64
 		if isWrite {
@@ -177,25 +247,38 @@ func (c *Controller) Enqueue(cmd mem.Command) {
 
 // Busy reports whether the controller holds any work.
 func (c *Controller) Busy() bool {
-	return len(c.inbox)+len(c.readQ)+len(c.writeQ)+len(c.caq)+len(c.lpq)+len(c.inflight)+len(c.pfFlight) > 0
+	return c.inbox.Len()+c.readQ.Len()+c.writeQ.Len()+c.caq.Len()+c.lpq.Len()+
+		len(c.inflight)+len(c.pfFlight) > 0
 }
 
 // NextWake returns the earliest CPU cycle at which stepping the
 // controller could make progress, given the current state; ^uint64(0)
-// when idle. Queued work always wants the next MC cycle.
+// when idle. Work in the inbox, Reorder Queues, or LPQ always wants the
+// next MC cycle. With only in-flight DRAM traffic outstanding, the
+// cached minimum completion cycle is returned without scanning. With
+// CAQ work but nothing ahead of it, the wake also covers the head's
+// bank-ready cycle — but only when no prefetch state could interact in
+// between (an in-flight prefetch can hold the head's bank, which feeds
+// the DelayedRegular statistic per cycle observed, and a Prefetch
+// Buffer hit on the head would deliver at the very next cycle).
 func (c *Controller) NextWake(cpuNow uint64) uint64 {
-	if len(c.inbox)+len(c.readQ)+len(c.writeQ)+len(c.caq)+len(c.lpq) > 0 {
+	if c.inbox.Len()+c.readQ.Len()+c.writeQ.Len()+c.lpq.Len() > 0 {
 		return cpuNow + mem.CPUCyclesPerMCCycle
 	}
-	wake := ^uint64(0)
-	for _, f := range c.inflight {
-		if f.done < wake {
-			wake = f.done
-		}
+	wake := c.nextDemandDone
+	if c.nextPFDone < wake {
+		wake = c.nextPFDone
 	}
-	for _, p := range c.pfFlight {
-		if p.doneAt < wake {
-			wake = p.doneAt
+	if c.caq.Len() > 0 {
+		if len(c.pfFlight) > 0 {
+			return cpuNow + mem.CPUCyclesPerMCCycle
+		}
+		head := c.caq.Front()
+		if c.pb != nil && !head.isWrite && c.pb.Contains(head.cmd.Line) {
+			return cpuNow + mem.CPUCyclesPerMCCycle
+		}
+		if hr := c.dram.ReadyAtD(head.dec) * mem.CPUCyclesPerDRAMCycle; hr < wake {
+			wake = hr
 		}
 	}
 	return wake
@@ -207,14 +290,16 @@ func (c *Controller) NextWake(cpuNow uint64) uint64 {
 // caq-almost-empty (which waits for a full LPQ) could otherwise hold
 // stragglers forever.
 func (c *Controller) FlushLPQ() {
-	c.stats.LPQDrops += uint64(len(c.lpq))
-	if c.bus != nil {
-		for _, p := range c.lpq {
+	c.stats.LPQDrops += uint64(c.lpq.Len())
+	for i := 0; i < c.lpq.Len(); i++ {
+		p := c.lpq.At(i)
+		if c.bus != nil {
 			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: p.arrival,
 				Line: p.line, V1: int64(p.depth)})
 		}
+		c.putPF(p)
 	}
-	c.lpq = c.lpq[:0]
+	c.lpq.Clear()
 }
 
 // Step advances the controller by one MC cycle ending at CPU cycle
@@ -233,7 +318,7 @@ func (c *Controller) Step(cpuNow uint64) {
 	}
 	if c.bus != nil {
 		c.bus.Emit(obs.Event{Kind: obs.KindMCQueues, Cycle: cpuNow,
-			V1: int64(len(c.readQ) + len(c.writeQ)), V2: int64(len(c.caq)), V3: int64(len(c.lpq))})
+			V1: int64(c.readQ.Len() + c.writeQ.Len()), V2: int64(c.caq.Len()), V3: int64(c.lpq.Len())})
 	}
 }
 
@@ -241,12 +326,13 @@ func (c *Controller) Step(cpuNow uint64) {
 // first Prefetch Buffer check and prefetch-merge check for Reads and the
 // PB invalidation rule for Writes.
 func (c *Controller) drainInbox(cpuNow uint64) {
-	for len(c.inbox) > 0 {
-		s := c.inbox[0]
+	for c.inbox.Len() > 0 {
+		s := c.inbox.Front()
 		if s.isWrite {
-			if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			if c.writeQ.Len() >= c.cfg.WriteQueueCap {
 				return
 			}
+			c.inbox.PopFront()
 			c.stats.RegularWrites++
 			if c.pb != nil {
 				if dropped, depth := c.pb.InvalidateForWrite(s.cmd.Line); dropped && c.bus != nil {
@@ -255,17 +341,16 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 				}
 			}
 			c.dropPendingPrefetch(s.cmd.Line, cpuNow)
-			c.writeQ = append(c.writeQ, s)
-			c.inbox = c.inbox[1:]
+			c.writeQ.PushBack(s)
 			continue
 		}
 
 		// Demand Read path. The Stream Filter sees every Read entering
 		// the controller (Fig. 4), including ones the PB will satisfy.
-		if len(c.readQ) >= c.cfg.ReadQueueCap {
+		if c.readQ.Len() >= c.cfg.ReadQueueCap {
 			return
 		}
-		c.inbox = c.inbox[1:]
+		c.inbox.PopFront()
 		c.stats.RegularReads++
 		if c.adaptive != nil {
 			c.adaptive.OnRead(cpuNow)
@@ -282,6 +367,7 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 						Line: s.cmd.Line, Thread: int32(s.cmd.Thread), V2: int64(depth)})
 				}
 				c.deliver(s.cmd, cpuNow+c.cfg.PBHitLatency, false)
+				c.putCmd(s)
 				continue
 			}
 		}
@@ -289,13 +375,14 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 			// The line is already on its way from DRAM: merge.
 			c.stats.PFMergeHits++
 			pf.waiters = append(pf.waiters, s.cmd)
+			c.putCmd(s)
 			continue
 		}
 		// A matching prefetch still waiting in the LPQ is squashed: the
 		// demand Read will fetch the line itself, so issuing the
 		// prefetch too would only waste a DRAM access.
 		c.dropPendingPrefetch(s.cmd.Line, cpuNow)
-		c.readQ = append(c.readQ, s)
+		c.readQ.PushBack(s)
 	}
 }
 
@@ -316,14 +403,16 @@ func (c *Controller) observeRead(cmd mem.Command, cpuNow uint64) {
 // full.
 func (c *Controller) nominatePrefetch(line mem.Line, depth int, cpuNow uint64) {
 	if c.pb.Contains(line) || c.findInFlightPrefetch(line) != nil || c.lpqContains(line) || c.demandPending(line) ||
-		len(c.lpq) >= c.cfg.LPQCap {
+		c.lpq.Len() >= c.cfg.LPQCap {
 		c.stats.LPQDrops++
 		if c.bus != nil {
 			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(depth)})
 		}
 		return
 	}
-	c.lpq = append(c.lpq, &pfState{line: line, arrival: cpuNow, depth: depth})
+	p := c.getPF()
+	*p = pfState{line: line, dec: c.dram.Decode(line), arrival: cpuNow, depth: depth, waiters: p.waiters}
+	c.lpq.PushBack(p)
 	c.stats.PrefetchesToLPQ++
 	if c.bus != nil {
 		c.bus.Emit(obs.Event{Kind: obs.KindMCPFNominate, Cycle: cpuNow, Line: line, V1: int64(depth)})
@@ -331,8 +420,8 @@ func (c *Controller) nominatePrefetch(line mem.Line, depth int, cpuNow uint64) {
 }
 
 func (c *Controller) lpqContains(line mem.Line) bool {
-	for _, p := range c.lpq {
-		if p.line == line {
+	for i := 0; i < c.lpq.Len(); i++ {
+		if c.lpq.At(i).line == line {
 			return true
 		}
 	}
@@ -342,13 +431,13 @@ func (c *Controller) lpqContains(line mem.Line) bool {
 // demandPending reports whether a demand command for line is already
 // queued or in flight (prefetching it would waste bandwidth).
 func (c *Controller) demandPending(line mem.Line) bool {
-	for _, s := range c.readQ {
-		if s.cmd.Line == line {
+	for i := 0; i < c.readQ.Len(); i++ {
+		if c.readQ.At(i).cmd.Line == line {
 			return true
 		}
 	}
-	for _, s := range c.caq {
-		if s.cmd.Line == line {
+	for i := 0; i < c.caq.Len(); i++ {
+		if c.caq.At(i).cmd.Line == line {
 			return true
 		}
 	}
@@ -372,13 +461,14 @@ func (c *Controller) findInFlightPrefetch(line mem.Line) *pfState {
 // dropPendingPrefetch removes an un-issued LPQ entry for line (a Write
 // makes prefetching it pointless and the data would be stale).
 func (c *Controller) dropPendingPrefetch(line mem.Line, cpuNow uint64) {
-	for i, p := range c.lpq {
-		if p.line == line {
-			c.lpq = append(c.lpq[:i], c.lpq[i+1:]...)
+	for i := 0; i < c.lpq.Len(); i++ {
+		if p := c.lpq.At(i); p.line == line {
+			c.lpq.RemoveAt(i)
 			c.stats.LPQDrops++
 			if c.bus != nil {
 				c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(p.depth)})
 			}
+			c.putPF(p)
 			return
 		}
 	}
@@ -391,12 +481,13 @@ func (c *Controller) countConflicts(cpuNow, dramNow uint64) {
 	if c.adaptive == nil {
 		return
 	}
-	for _, q := range [][]*cmdState{c.readQ, c.writeQ} {
-		for _, s := range q {
+	for _, q := range [...]*ring[*cmdState]{&c.readQ, &c.writeQ} {
+		for i := 0; i < q.Len(); i++ {
+			s := q.At(i)
 			if s.conflictCounted {
 				continue
 			}
-			if busy, byPF := c.dram.BankBusy(s.cmd.Line, dramNow); busy && byPF {
+			if busy, byPF := c.dram.BankBusyD(s.dec, dramNow); busy && byPF {
 				s.conflictCounted = true
 				c.adaptive.OnConflict()
 				if c.bus != nil {
@@ -413,26 +504,37 @@ func (c *Controller) countConflicts(cpuNow, dramNow uint64) {
 }
 
 // scheduleToCAQ moves at most one command per MC cycle from the Reorder
-// Queues to the CAQ, per the configured scheduling algorithm.
+// Queues to the CAQ, per the configured scheduling algorithm. The
+// arbiter sees one merged reads-then-writes view, rebuilt each cycle in
+// a scratch slice that is reused across cycles.
 func (c *Controller) scheduleToCAQ(cpuNow, dramNow uint64) {
-	if len(c.caq) >= c.cfg.CAQCap {
+	if c.caq.Len() >= c.cfg.CAQCap {
 		return
 	}
-	merged := make([]*cmdState, 0, len(c.readQ)+len(c.writeQ))
-	merged = append(merged, c.readQ...)
-	merged = append(merged, c.writeQ...)
-	idx := c.arb.pick(merged, c.dram, dramNow, len(c.writeQ), c.cfg.WriteQueueCap)
+	readLen := c.readQ.Len()
+	if readLen+c.writeQ.Len() == 0 {
+		return
+	}
+	merged := c.merged[:0]
+	for i := 0; i < readLen; i++ {
+		merged = append(merged, c.readQ.At(i))
+	}
+	for i := 0; i < c.writeQ.Len(); i++ {
+		merged = append(merged, c.writeQ.At(i))
+	}
+	c.merged = merged
+	idx := c.arb.pick(merged, c.dram, dramNow, c.writeQ.Len(), c.cfg.WriteQueueCap)
 	if idx < 0 {
 		return
 	}
 	chosen := merged[idx]
 	c.arb.issued(chosen, c.dram)
-	if chosen.isWrite {
-		c.writeQ = removeCmd(c.writeQ, chosen)
+	if idx < readLen {
+		c.readQ.RemoveAt(idx)
 	} else {
-		c.readQ = removeCmd(c.readQ, chosen)
+		c.writeQ.RemoveAt(idx - readLen)
 	}
-	c.caq = append(c.caq, chosen)
+	c.caq.PushBack(chosen)
 	if c.bus != nil {
 		var w int64
 		if chosen.isWrite {
@@ -443,22 +545,13 @@ func (c *Controller) scheduleToCAQ(cpuNow, dramNow uint64) {
 	}
 }
 
-func removeCmd(q []*cmdState, s *cmdState) []*cmdState {
-	for i, x := range q {
-		if x == s {
-			return append(q[:i], q[i+1:]...)
-		}
-	}
-	return q
-}
-
 // finalIssue is the Final Scheduler: it transmits the CAQ head to DRAM
 // (performing the second Prefetch Buffer check first) and, when the
 // active Adaptive Scheduling policy permits, issues the LPQ head instead.
 func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 	issued := false
-	if len(c.caq) > 0 {
-		head := c.caq[0]
+	if c.caq.Len() > 0 {
+		head := c.caq.Front()
 		var lateHit bool
 		var lateDepth int
 		if !head.isWrite && c.pb != nil {
@@ -473,20 +566,13 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 					Line: head.cmd.Line, Thread: int32(head.cmd.Thread), V1: 1, V2: int64(lateDepth)})
 			}
 			c.deliver(head.cmd, cpuNow+c.cfg.PBHitLatency, false)
-			c.caq = c.caq[1:]
+			c.caq.PopFront()
+			c.putCmd(head)
 			issued = true // the CAQ slot consumed this cycle's transmit
-		} else if c.dram.CanIssue(head.cmd.Line, dramNow) {
-			doneDRAM := c.dram.Issue(head.cmd.Line, head.isWrite, false, dramNow)
+		} else if c.dram.CanIssueD(head.dec, dramNow) {
+			doneDRAM := c.dram.IssueD(head.cmd.Line, head.dec, head.isWrite, false, dramNow)
 			doneCPU := doneDRAM*mem.CPUCyclesPerDRAMCycle + c.cfg.Overhead
-			c.caq = c.caq[1:]
-			if head.isWrite {
-				c.stats.DRAMWrites++
-			} else {
-				c.stats.DRAMReads++
-				head.done = doneCPU
-				c.stats.ReadLatencySum += doneCPU - head.cmd.Arrival
-				c.inflight = append(c.inflight, head)
-			}
+			c.caq.PopFront()
 			issued = true
 			if c.bus != nil {
 				var w int64
@@ -496,7 +582,19 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 				c.bus.Emit(obs.Event{Kind: obs.KindMCIssue, Cycle: cpuNow, ID: head.cmd.ID,
 					Line: head.cmd.Line, Thread: int32(head.cmd.Thread), V1: w, V2: int64(doneCPU)})
 			}
-		} else if busy, byPF := c.dram.BankBusy(head.cmd.Line, dramNow); busy && byPF && !head.delayedCounted {
+			if head.isWrite {
+				c.stats.DRAMWrites++
+				c.putCmd(head)
+			} else {
+				c.stats.DRAMReads++
+				head.done = doneCPU
+				c.stats.ReadLatencySum += doneCPU - head.cmd.Arrival
+				c.inflight = append(c.inflight, head)
+				if doneCPU < c.nextDemandDone {
+					c.nextDemandDone = doneCPU
+				}
+			}
+		} else if busy, byPF := c.dram.BankBusyD(head.dec, dramNow); busy && byPF && !head.delayedCounted {
 			head.delayedCounted = true
 			c.stats.DelayedRegular++
 			if c.bus != nil {
@@ -505,21 +603,23 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 			}
 		}
 	}
-	if issued || len(c.lpq) == 0 || c.adaptive == nil {
+	if issued || c.lpq.Len() == 0 || c.adaptive == nil {
 		return
 	}
-	st := c.queueState(dramNow)
-	if !c.adaptive.Policy().Allows(st) {
+	if !c.adaptive.Policy().Allows(c.queueState(dramNow)) {
 		return
 	}
-	head := c.lpq[0]
-	if !c.dram.CanIssue(head.line, dramNow) {
+	head := c.lpq.Front()
+	if !c.dram.CanIssueD(head.dec, dramNow) {
 		return
 	}
-	doneDRAM := c.dram.Issue(head.line, false, true, dramNow)
+	doneDRAM := c.dram.IssueD(head.line, head.dec, false, true, dramNow)
 	head.doneAt = doneDRAM*mem.CPUCyclesPerDRAMCycle + c.cfg.Overhead
-	c.lpq = c.lpq[1:]
+	c.lpq.PopFront()
 	c.pfFlight = append(c.pfFlight, head)
+	if head.doneAt < c.nextPFDone {
+		c.nextPFDone = head.doneAt
+	}
 	c.stats.PrefetchesToDRAM++
 	if c.bus != nil {
 		c.bus.Emit(obs.Event{Kind: obs.KindMCPFIssue, Cycle: cpuNow, Line: head.line,
@@ -528,36 +628,64 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 }
 
 // queueState snapshots the queues for a policy decision.
+//
+// ReorderHasIssuable is filled lazily: only the no-issuable policy's
+// condition (2) can change outcome based on it — under every other
+// policy the CAQ-empty test subsumes it (the policies are cumulative) —
+// so only that policy pays the Reorder-Queue scan, and only when the
+// scan can matter (CAQ empty, Reorder Queues non-empty).
 func (c *Controller) queueState(dramNow uint64) core.QueueState {
 	st := core.QueueState{
-		CAQLen:     len(c.caq),
-		ReorderLen: len(c.readQ) + len(c.writeQ),
-		LPQLen:     len(c.lpq),
+		CAQLen:     c.caq.Len(),
+		ReorderLen: c.readQ.Len() + c.writeQ.Len(),
+		LPQLen:     c.lpq.Len(),
 		LPQCap:     c.cfg.LPQCap,
 	}
-	for _, s := range append(append([]*cmdState{}, c.readQ...), c.writeQ...) {
-		if c.dram.CanIssue(s.cmd.Line, dramNow) {
-			st.ReorderHasIssuable = true
-			break
-		}
+	if c.adaptive.Policy() == core.PolicyNoIssuable && st.CAQLen == 0 && st.ReorderLen > 0 {
+		st.ReorderHasIssuable = c.reorderHasIssuable(dramNow)
 	}
-	if len(c.lpq) > 0 {
-		st.LPQHeadArrival = c.lpq[0].arrival
+	if st.LPQLen > 0 {
+		st.LPQHeadArrival = c.lpq.Front().arrival
 	}
-	if len(c.caq) > 0 {
-		st.CAQHeadArrival = c.caq[0].cmd.Arrival
+	if st.CAQLen > 0 {
+		st.CAQHeadArrival = c.caq.Front().cmd.Arrival
 	}
 	return st
+}
+
+// reorderHasIssuable reports whether any Reorder-Queue command's bank
+// could accept it at dramNow.
+func (c *Controller) reorderHasIssuable(dramNow uint64) bool {
+	for i := 0; i < c.readQ.Len(); i++ {
+		if c.dram.CanIssueD(c.readQ.At(i).dec, dramNow) {
+			return true
+		}
+	}
+	for i := 0; i < c.writeQ.Len(); i++ {
+		if c.dram.CanIssueD(c.writeQ.At(i).dec, dramNow) {
+			return true
+		}
+	}
+	return false
 }
 
 // completePrefetches lands finished prefetches: merged waiters are
 // delivered directly (the data moves on-chip, so it does not linger in
 // the PB); otherwise the line is installed in the Prefetch Buffer.
+// Survivors are compacted in one pass, which also refreshes the cached
+// minimum completion cycle.
 func (c *Controller) completePrefetches(cpuNow uint64) {
-	for i := 0; i < len(c.pfFlight); {
-		p := c.pfFlight[i]
+	if c.nextPFDone > cpuNow {
+		return
+	}
+	keep := c.pfFlight[:0]
+	minDone := ^uint64(0)
+	for _, p := range c.pfFlight {
 		if p.doneAt > cpuNow {
-			i++
+			keep = append(keep, p)
+			if p.doneAt < minDone {
+				minDone = p.doneAt
+			}
 			continue
 		}
 		if len(p.waiters) > 0 {
@@ -580,20 +708,44 @@ func (c *Controller) completePrefetches(cpuNow uint64) {
 				}
 			}
 		}
-		c.pfFlight = append(c.pfFlight[:i], c.pfFlight[i+1:]...)
+		c.putPF(p)
 	}
+	clearTail(c.pfFlight, len(keep))
+	c.pfFlight = keep
+	c.nextPFDone = minDone
 }
 
-// completeDemands delivers finished demand Reads.
+// completeDemands delivers finished demand Reads, compacting survivors
+// in one pass and refreshing the cached minimum completion cycle.
 func (c *Controller) completeDemands(cpuNow uint64) {
-	for i := 0; i < len(c.inflight); {
-		s := c.inflight[i]
+	if c.nextDemandDone > cpuNow {
+		return
+	}
+	keep := c.inflight[:0]
+	minDone := ^uint64(0)
+	for _, s := range c.inflight {
 		if s.done > cpuNow {
-			i++
+			keep = append(keep, s)
+			if s.done < minDone {
+				minDone = s.done
+			}
 			continue
 		}
 		c.deliver(s.cmd, s.done, false)
-		c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+		c.putCmd(s)
+	}
+	clearTail(c.inflight, len(keep))
+	c.inflight = keep
+	c.nextDemandDone = minDone
+}
+
+// clearTail nils the slots past n so the shared backing array does not
+// retain pooled objects' last positions (harmless for GC — the pool
+// holds them anyway — but keeps aliasing obvious).
+func clearTail[T any](s []T, n int) {
+	var zero T
+	for i := n; i < len(s); i++ {
+		s[i] = zero
 	}
 }
 

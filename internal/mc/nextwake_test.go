@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"reflect"
+	"testing"
+
+	"asdsim/internal/mem"
+)
+
+// TestNextWakeIdleAfterDrain: once all traffic has drained, the cached
+// completion minima must have been reset — a stale minimum would make an
+// idle controller report a bogus wake.
+func TestNextWakeIdleAfterDrain(t *testing.T) {
+	h := noPF(t)
+	h.read(100)
+	h.run(100000)
+	if h.c.Busy() {
+		t.Fatal("controller still busy after drain")
+	}
+	if w := h.c.NextWake(h.now); w != ^uint64(0) {
+		t.Errorf("drained controller NextWake = %d, want ^uint64(0)", w)
+	}
+}
+
+// TestNextWakeInFlightSkipsIdleCycles: with only in-flight DRAM traffic,
+// the wake jumps past the dead cycles, and stepping straight there
+// completes the read at the same cycle dense stepping would.
+func TestNextWakeInFlightSkipsIdleCycles(t *testing.T) {
+	mk := func() (*harness, uint64) {
+		h := noPF(t)
+		id := h.read(100)
+		// Step until the command has left the queues for DRAM.
+		for i := 0; i < 16 && len(h.c.inflight) == 0; i++ {
+			h.now += mem.CPUCyclesPerMCCycle
+			h.c.Step(h.now)
+		}
+		if len(h.c.inflight) != 1 {
+			t.Fatal("read never issued to DRAM")
+		}
+		return h, id
+	}
+
+	dense, id := mk()
+	dense.run(100000)
+	doneAt, ok := dense.done[id]
+	if !ok {
+		t.Fatal("dense harness never completed the read")
+	}
+
+	fast, id2 := mk()
+	wake := fast.c.NextWake(fast.now)
+	if wake == ^uint64(0) {
+		t.Fatal("NextWake idle with a read in flight")
+	}
+	if wake <= fast.now+mem.CPUCyclesPerMCCycle {
+		t.Errorf("NextWake = %d, expected to skip past cycle %d (DRAM latency is tens of cycles)",
+			wake, fast.now+mem.CPUCyclesPerMCCycle)
+	}
+	// Jump directly to the (aligned) wake cycle, as the runner does.
+	fast.now = wake - wake%mem.CPUCyclesPerMCCycle
+	if fast.now < wake {
+		fast.now += mem.CPUCyclesPerMCCycle
+	}
+	fast.c.Step(fast.now)
+	fast.run(100000)
+	if got := fast.done[id2]; got != doneAt {
+		t.Errorf("fast-forwarded completion at %d, dense at %d", got, doneAt)
+	}
+}
+
+// runFast mirrors the simulator run loop's fast-forward: step at the next
+// MC cycle, or jump to the aligned NextWake cycle when that is later.
+func (h *harness) runFast(maxCycles uint64) {
+	limit := h.now + maxCycles
+	for h.now < limit && h.c.Busy() {
+		next := h.now + mem.CPUCyclesPerMCCycle
+		if wake := h.c.NextWake(h.now); wake != ^uint64(0) && wake > next {
+			if aligned := wake - wake%mem.CPUCyclesPerMCCycle; aligned > h.now {
+				next = aligned
+			}
+		}
+		h.now = next
+		h.c.Step(h.now)
+	}
+}
+
+// TestNextWakeFastForwardMatchesDenseStepping drives two identical
+// controllers — one stepped every MC cycle, one using NextWake
+// fast-forward — through several traffic phases (streams that trigger
+// memory-side prefetching, re-reads that hit the Prefetch Buffer, and
+// writes that invalidate it) and requires identical completion times and
+// statistics. This pins the fast-forward guards: wakes between MC-cycle
+// boundaries are aligned up, in-flight prefetches and pending PB hits
+// suppress the CAQ-head jump.
+func TestNextWakeFastForwardMatchesDenseStepping(t *testing.T) {
+	phases := [][]struct {
+		line  mem.Line
+		write bool
+	}{
+		// Ascending stream: trains the ASD engine, stages prefetches.
+		{{100, false}, {101, false}, {102, false}, {103, false}},
+		// Continue the stream (likely PB hits) plus an unrelated read.
+		{{104, false}, {105, false}, {300, false}},
+		// Writes into the prefetched range, then more reads.
+		{{106, true}, {301, false}, {107, false}},
+	}
+
+	dense := withASD(t)
+	fast := withASD(t)
+	for _, phase := range phases {
+		for _, a := range phase {
+			for _, h := range []*harness{dense, fast} {
+				if a.write {
+					h.write(a.line)
+				} else {
+					h.read(a.line)
+				}
+			}
+		}
+		dense.run(200000)
+		fast.runFast(200000)
+		if dense.c.Busy() || fast.c.Busy() {
+			t.Fatal("harness did not drain within cycle cap")
+		}
+		// Both controllers are idle; align their clocks (the run loop
+		// likewise jumps the MC clock across idle gaps without stepping).
+		if dense.now < fast.now {
+			dense.now = fast.now
+		} else {
+			fast.now = dense.now
+		}
+	}
+	if !reflect.DeepEqual(dense.done, fast.done) {
+		t.Errorf("completion times diverge:\ndense: %v\nfast:  %v", dense.done, fast.done)
+	}
+	if !reflect.DeepEqual(dense.order, fast.order) {
+		t.Errorf("completion order diverges:\ndense: %v\nfast:  %v", dense.order, fast.order)
+	}
+	if ds, fs := dense.c.Stats(), fast.c.Stats(); !reflect.DeepEqual(ds, fs) {
+		t.Errorf("stats diverge:\ndense: %+v\nfast:  %+v", ds, fs)
+	}
+}

@@ -19,10 +19,11 @@ type pbEntry struct {
 // invalidated on write requests to their address, and on a Read hit (the
 // data moves into the processor caches, so keeping it is pointless).
 type PBuffer struct {
-	sets  int
-	assoc int
-	ways  []pbEntry
-	tick  uint64
+	sets    int
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+	assoc   int
+	ways    []pbEntry
+	tick    uint64
 
 	// Inserts counts lines installed; Useful counts Read hits; Wasted
 	// counts lines invalidated or evicted without ever being read.
@@ -41,18 +42,29 @@ func NewPBuffer(lines, assoc int) *PBuffer {
 	if lines <= 0 || assoc <= 0 || lines%assoc != 0 {
 		panic(fmt.Sprintf("mc: bad prefetch buffer geometry %d/%d", lines, assoc))
 	}
-	return &PBuffer{sets: lines / assoc, assoc: assoc, ways: make([]pbEntry, lines)}
+	b := &PBuffer{sets: lines / assoc, assoc: assoc, ways: make([]pbEntry, lines)}
+	if b.sets&(b.sets-1) == 0 {
+		b.setMask = uint64(b.sets - 1)
+	}
+	return b
 }
 
 // Capacity returns the number of lines the buffer holds.
 func (b *PBuffer) Capacity() int { return len(b.ways) }
 
-func (b *PBuffer) setOf(l mem.Line) int { return int(uint64(l) % uint64(b.sets)) }
+func (b *PBuffer) setOf(l mem.Line) int {
+	if b.setMask != 0 {
+		return int(uint64(l) & b.setMask)
+	}
+	return int(uint64(l) % uint64(b.sets))
+}
 
 func (b *PBuffer) find(l mem.Line) int {
 	base := b.setOf(l) * b.assoc
 	for w := 0; w < b.assoc; w++ {
-		if b.ways[base+w].valid && b.ways[base+w].line == l {
+		// Line is compared before valid: a stale line match on an
+		// invalid entry is rare, so the common path is one compare.
+		if b.ways[base+w].line == l && b.ways[base+w].valid {
 			return base + w
 		}
 	}

@@ -1,0 +1,95 @@
+package mc
+
+// ring is an order-preserving FIFO over a power-of-two circular buffer.
+// The controller's queues are tiny (3-8 entries by configuration) and
+// were previously re-sliced Go slices, where every pop-front
+// (`q = q[1:]`) walked the backing array out from under its allocation
+// and every mid-queue delete (`append(q[:i], q[i+1:]...)`) shifted the
+// tail — both forcing periodic reallocation. The ring keeps one backing
+// array for the controller's lifetime: pushes and pops are index
+// arithmetic, and mid-queue deletes shift at most cap-1 elements within
+// the array.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // live elements
+}
+
+// newRing returns a ring with capacity for at least capHint elements.
+func newRing[T any](capHint int) ring[T] {
+	c := 4
+	for c < capHint {
+		c <<= 1
+	}
+	return ring[T]{buf: make([]T, c)}
+}
+
+// Len returns the number of queued elements.
+func (r *ring[T]) Len() int { return r.n }
+
+// mask converts a logical position to a buffer index.
+func (r *ring[T]) mask(i int) int { return i & (len(r.buf) - 1) }
+
+// At returns the i-th element from the front (0 = front).
+func (r *ring[T]) At(i int) T { return r.buf[r.mask(r.head+i)] }
+
+// Front returns the front element.
+func (r *ring[T]) Front() T { return r.buf[r.head] }
+
+// PushBack appends v, growing the buffer when full. Fixed-capacity
+// queues never grow (admission is guarded by the configured caps); the
+// unbounded inbox grows geometrically, so steady state performs no
+// allocation.
+func (r *ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.mask(r.head+r.n)] = v
+	r.n++
+}
+
+// PopFront removes and returns the front element.
+func (r *ring[T]) PopFront() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = r.mask(r.head + 1)
+	r.n--
+	return v
+}
+
+// RemoveAt deletes the i-th element from the front, preserving FIFO
+// order of the rest, and returns it. The front portion shifts back by
+// one slot — at most cap-1 moves on queues that are at most 8 deep.
+func (r *ring[T]) RemoveAt(i int) T {
+	v := r.At(i)
+	for j := i; j > 0; j-- {
+		r.buf[r.mask(r.head+j)] = r.buf[r.mask(r.head+j-1)]
+	}
+	var zero T
+	r.buf[r.head] = zero
+	r.head = r.mask(r.head + 1)
+	r.n--
+	return v
+}
+
+// Clear empties the ring, zeroing slots so pooled pointers are not
+// retained.
+func (r *ring[T]) Clear() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[r.mask(r.head+i)] = zero
+	}
+	r.head = 0
+	r.n = 0
+}
+
+// grow doubles the buffer, relinearising the elements.
+func (r *ring[T]) grow() {
+	next := make([]T, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		next[i] = r.At(i)
+	}
+	r.buf = next
+	r.head = 0
+}

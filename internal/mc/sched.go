@@ -37,6 +37,8 @@ func (k SchedulerKind) String() string {
 }
 
 // oldestIndex returns the index of the command with the smallest ID.
+// (The merged view the arbiters see is reads-then-writes, not global
+// arrival order, so the oldest command is not necessarily at index 0.)
 func oldestIndex(queue []*cmdState) int {
 	best := 0
 	for i := 1; i < len(queue); i++ {

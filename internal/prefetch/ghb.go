@@ -41,6 +41,8 @@ type GHB struct {
 
 	// Issued counts emitted prefetches.
 	Issued uint64
+
+	out []mem.Line // reusable nomination scratch
 }
 
 // NewGHB returns a GHB engine.
@@ -62,7 +64,7 @@ func (g *GHB) inWindow(s uint64) bool {
 
 // ObserveRead implements MSEngine.
 func (g *GHB) ObserveRead(line mem.Line, _ uint64) []mem.Line {
-	var out []mem.Line
+	out := g.out[:0]
 	// Chase the most recent prior occurrence and nominate its
 	// successors.
 	if prior := g.index[line]; g.inWindow(prior) && g.slotFor(prior).line == line {
@@ -93,6 +95,7 @@ func (g *GHB) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 		}
 	}
 	g.Issued += uint64(len(out))
+	g.out = out
 	return out
 }
 

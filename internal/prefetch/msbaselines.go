@@ -9,7 +9,9 @@ import "asdsim/internal/mem"
 // below.
 type MSEngine interface {
 	// ObserveRead sees one demand Read at CPU cycle now and returns
-	// lines to prefetch.
+	// lines to prefetch. The returned slice may alias a scratch buffer
+	// owned by the engine and is valid only until the next ObserveRead
+	// call: callers must consume it before observing again.
 	ObserveRead(line mem.Line, now uint64) []mem.Line
 	// Tick lets the engine expire internal state on quiet channels.
 	Tick(now uint64)
@@ -20,6 +22,8 @@ type MSEngine interface {
 type NextLine struct {
 	// Issued counts emitted prefetches.
 	Issued uint64
+
+	out []mem.Line // reusable nomination scratch
 }
 
 // NewNextLine returns the next-line baseline engine.
@@ -28,7 +32,8 @@ func NewNextLine() *NextLine { return &NextLine{} }
 // ObserveRead implements MSEngine.
 func (n *NextLine) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 	n.Issued++
-	return []mem.Line{line.Next(+1)}
+	n.out = append(n.out[:0], line.Next(+1))
+	return n.out
 }
 
 // Tick implements MSEngine.
@@ -66,6 +71,11 @@ type P5Style struct {
 
 	// Issued counts emitted prefetches.
 	Issued uint64
+
+	out []mem.Line // reusable nomination scratch
+	// minExpiry is a lower bound on the earliest slot expiry, letting
+	// the per-cycle Tick sweep early-exit while nothing has run out.
+	minExpiry uint64
 }
 
 // NewP5Style returns the Power5-style in-MC baseline.
@@ -73,7 +83,7 @@ func NewP5Style(cfg P5StyleConfig) *P5Style {
 	if cfg.Slots <= 0 || cfg.Lifetime == 0 {
 		panic("prefetch: invalid P5Style config")
 	}
-	return &P5Style{cfg: cfg, slots: make([]p5Slot, cfg.Slots)}
+	return &P5Style{cfg: cfg, slots: make([]p5Slot, cfg.Slots), minExpiry: ^uint64(0)}
 }
 
 // ObserveRead implements MSEngine.
@@ -88,6 +98,7 @@ func (p *P5Style) ObserveRead(line mem.Line, now uint64) []mem.Line {
 		switch line {
 		case s.last:
 			s.expiresAt = now + p.cfg.Lifetime
+			p.noteExpiry(s.expiresAt)
 			return nil
 		case s.last.Next(+1):
 			dir = +1
@@ -103,10 +114,12 @@ func (p *P5Style) ObserveRead(line mem.Line, now uint64) []mem.Line {
 		s.length++
 		s.last = line
 		s.expiresAt = now + p.cfg.Lifetime
+		p.noteExpiry(s.expiresAt)
 		// n=2 policy: from the second consecutive Read onward, always
 		// pull the next line.
 		p.Issued++
-		return []mem.Line{line.Next(dir)}
+		p.out = append(p.out[:0], line.Next(dir))
+		return p.out
 	}
 	for i := range p.slots {
 		s := &p.slots[i]
@@ -114,16 +127,36 @@ func (p *P5Style) ObserveRead(line mem.Line, now uint64) []mem.Line {
 			continue
 		}
 		*s = p5Slot{valid: true, last: line, length: 1, expiresAt: now + p.cfg.Lifetime}
+		p.noteExpiry(s.expiresAt)
 		return nil
 	}
 	return nil
 }
 
-// Tick implements MSEngine.
+// noteExpiry lowers the cached expiry bound to cover a refreshed slot.
+func (p *P5Style) noteExpiry(at uint64) {
+	if at < p.minExpiry {
+		p.minExpiry = at
+	}
+}
+
+// Tick implements MSEngine. The sweep is skipped while the earliest
+// possible expiry is still in the future (no slot can have run out).
 func (p *P5Style) Tick(now uint64) {
+	if now < p.minExpiry {
+		return
+	}
+	min := ^uint64(0)
 	for i := range p.slots {
-		if p.slots[i].valid && p.slots[i].expiresAt <= now {
-			p.slots[i].valid = false
+		s := &p.slots[i]
+		if !s.valid {
+			continue
+		}
+		if s.expiresAt <= now {
+			s.valid = false
+		} else if s.expiresAt < min {
+			min = s.expiresAt
 		}
 	}
+	p.minExpiry = min
 }

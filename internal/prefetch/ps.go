@@ -58,6 +58,14 @@ type PS struct {
 	Issued uint64
 	// Confirmations counts streams that reached confirmed state.
 	Confirmations uint64
+
+	out []Request // reusable request scratch
+	// minExpiry is a lower bound on the earliest entry expiry, letting
+	// the per-miss expiry sweep early-exit while nothing has run out.
+	minExpiry uint64
+	// nConfirmed tracks how many valid entries are confirmed, so the
+	// MaxStreams check needs no table scan.
+	nConfirmed int
 }
 
 // NewPS returns a processor-side prefetcher.
@@ -65,17 +73,40 @@ func NewPS(cfg PSConfig) *PS {
 	if cfg.DetectEntries <= 0 || cfg.MaxStreams <= 0 || cfg.L2Ahead < 1 || cfg.Lifetime == 0 {
 		panic("prefetch: invalid PS config")
 	}
-	return &PS{cfg: cfg, entries: make([]psEntry, cfg.DetectEntries)}
+	return &PS{cfg: cfg, entries: make([]psEntry, cfg.DetectEntries), minExpiry: ^uint64(0)}
+}
+
+// noteExpiry lowers the cached expiry bound to cover a refreshed entry.
+func (p *PS) noteExpiry(at uint64) {
+	if at < p.minExpiry {
+		p.minExpiry = at
+	}
 }
 
 // ObserveMiss presents an L1 demand-miss line at CPU cycle now and
-// returns the prefetches to perform.
+// returns the prefetches to perform. The returned slice aliases a
+// scratch buffer owned by the PS unit and is valid only until the next
+// ObserveMiss call.
 func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
-	// Expire stale entries.
-	for i := range p.entries {
-		if p.entries[i].valid && p.entries[i].expiresAt <= now {
-			p.entries[i].valid = false
+	// Expire stale entries (skipped while the earliest possible expiry
+	// is still in the future: no entry can have run out).
+	if now >= p.minExpiry {
+		min := ^uint64(0)
+		for i := range p.entries {
+			e := &p.entries[i]
+			if !e.valid {
+				continue
+			}
+			if e.expiresAt <= now {
+				e.valid = false
+				if e.confirmed {
+					p.nConfirmed--
+				}
+			} else if e.expiresAt < min {
+				min = e.expiresAt
+			}
 		}
+		p.minExpiry = min
 	}
 	// Match against an existing entry (the expected next line in either
 	// the entry's direction, or confirm direction on second miss).
@@ -90,6 +121,7 @@ func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
 			// Re-miss of the tracked line (MSHR merge window):
 			// refresh, do not allocate a duplicate entry.
 			e.expiresAt = now + p.cfg.Lifetime
+			p.noteExpiry(e.expiresAt)
 			return nil
 		case e.last.Next(+1):
 			dir = +1
@@ -105,34 +137,38 @@ func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
 				return nil
 			}
 			e.confirmed = true
+			p.nConfirmed++
 			e.dir = dir
 			e.depth = 1
 			p.Confirmations++
 			e.last = line
 			e.expiresAt = now + p.cfg.Lifetime
+			p.noteExpiry(e.expiresAt)
 			// Confirmation: pull only the next line. The L2-bound
 			// distance ramps on subsequent advances, so a stream that
 			// dies young has wasted at most one prefetch — the cost
 			// the paper's introduction attributes to an n=2 policy.
 			p.Issued++
-			return []Request{{Line: line.Next(e.dir), IntoL1: true}}
+			p.out = append(p.out[:0], Request{Line: line.Next(e.dir), IntoL1: true})
+			return p.out
 		}
 		if dir != e.dir {
 			continue
 		}
 		e.last = line
 		e.expiresAt = now + p.cfg.Lifetime
+		p.noteExpiry(e.expiresAt)
 		if e.depth < p.cfg.L2Ahead {
 			e.depth++
 		}
 		// Steady state: one line ahead into L1, depth lines ahead into
 		// L2 (depth reaches L2Ahead after the ramp).
-		reqs := []Request{
-			{Line: line.Next(e.dir), IntoL1: true},
-			{Line: line.Next(e.dir * e.depth), IntoL1: false},
-		}
+		p.out = append(p.out[:0],
+			Request{Line: line.Next(e.dir), IntoL1: true},
+			Request{Line: line.Next(e.dir * e.depth), IntoL1: false},
+		)
 		p.Issued += 2
-		return reqs
+		return p.out
 	}
 	// New potential stream: allocate (evict the oldest unconfirmed, or
 	// the oldest entry if all are confirmed).
@@ -149,19 +185,15 @@ func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
 			idx = i
 		}
 	}
+	if p.entries[idx].valid && p.entries[idx].confirmed {
+		p.nConfirmed--
+	}
 	p.entries[idx] = psEntry{valid: true, last: line, expiresAt: now + p.cfg.Lifetime}
+	p.noteExpiry(now + p.cfg.Lifetime)
 	return nil
 }
 
-func (p *PS) confirmedCount() int {
-	n := 0
-	for i := range p.entries {
-		if p.entries[i].valid && p.entries[i].confirmed {
-			n++
-		}
-	}
-	return n
-}
+func (p *PS) confirmedCount() int { return p.nConfirmed }
 
 // ActiveStreams returns the number of confirmed streams (reporting).
 func (p *PS) ActiveStreams() int { return p.confirmedCount() }

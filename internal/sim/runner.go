@@ -96,6 +96,9 @@ type waiter struct {
 }
 
 // flight is one outstanding line fetch from the memory controller.
+// Instances are pooled by the runner: a flight is live from the miss (or
+// prefetch launch) until onReadDone retires it, and its waiters slice
+// keeps its capacity across recycles.
 type flight struct {
 	line    mem.Line
 	kind    flightKind
@@ -117,12 +120,31 @@ type runner struct {
 	ps      *prefetch.PS
 	engines []prefetch.MSEngine
 
-	mcNow    uint64
-	flights  map[mem.Line]*flight
-	psBusy   int
-	cmdID    uint64
-	lastLine map[int]mem.Line // per-thread last accessed line (PS observation)
+	mcNow      uint64
+	flights    map[mem.Line]*flight
+	flightPool []*flight
+	psBusy     int
+	cmdID      uint64
+	lastLine   []mem.Line // per-thread last accessed line (PS observation)
 }
+
+// getFlight takes a flight from the pool (preserving waiters capacity)
+// and resets its fields.
+func (r *runner) getFlight() *flight {
+	if n := len(r.flightPool); n > 0 {
+		f := r.flightPool[n-1]
+		r.flightPool = r.flightPool[:n-1]
+		*f = flight{waiters: f.waiters[:0]}
+		return f
+	}
+	return new(flight)
+}
+
+// putFlight recycles a retired flight. Safe to call from onReadDone even
+// though loop() may still read f.done/f.doneAt afterwards: the pool only
+// hands the object out again from execute/psMiss, which run strictly
+// after those reads.
+func (r *runner) putFlight(f *flight) { r.flightPool = append(r.flightPool, f) }
 
 // maxPSOutstanding bounds in-flight processor-side prefetches: eight
 // concurrent streams, each keeping an L1-bound and an L2-bound line in
@@ -225,7 +247,7 @@ func buildRunner(bench string, cfg Config) (*runner, error) {
 // newRunnerShell wires the memory system (caches, MC, DRAM, prefetchers)
 // without threads.
 func newRunnerShell(cfg Config) *runner {
-	r := &runner{cfg: cfg, flights: make(map[mem.Line]*flight), lastLine: make(map[int]mem.Line)}
+	r := &runner{cfg: cfg, flights: make(map[mem.Line]*flight), lastLine: make([]mem.Line, cfg.Threads)}
 	r.hier = cache.NewHierarchy(cfg.Cache)
 	r.dram = dram.New(cfg.DRAM)
 
@@ -309,7 +331,11 @@ func (r *runner) loop(ctx context.Context) error {
 	// Drain remaining memory traffic so power integration and thread
 	// completion times include the tail. Queued-but-unissued prefetches
 	// are dropped first: no further demand traffic will arrive to
-	// satisfy a policy that waits for queue conditions.
+	// satisfy a policy that waits for queue conditions. With only
+	// in-flight DRAM traffic left, the loop fast-forwards to the next
+	// completion instead of stepping every MC cycle — the step sequence
+	// at cycles where work completes is identical, so simulated
+	// behavior is unchanged.
 	r.ctrl.FlushLPQ()
 	for r.ctrl.Busy() {
 		if tick++; done != nil && tick%ctxCheckInterval == 0 {
@@ -319,7 +345,13 @@ func (r *runner) loop(ctx context.Context) error {
 			default:
 			}
 		}
-		r.mcNow += mem.CPUCyclesPerMCCycle
+		next := r.mcNow + mem.CPUCyclesPerMCCycle
+		if wake := r.ctrl.NextWake(r.mcNow); wake != ^uint64(0) && wake > next {
+			if aligned := wake - wake%mem.CPUCyclesPerMCCycle; aligned > r.mcNow {
+				next = aligned
+			}
+		}
+		r.mcNow = next
 		r.ctrl.Step(r.mcNow)
 	}
 	return nil
@@ -444,8 +476,9 @@ func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
 		f.dirty = f.dirty || store
 	} else {
 		pendID := th.AddPending(line, !store)
-		f := &flight{line: line, kind: flightDemand, dirty: store, needL1: true,
-			waiters: []waiter{{th: th, pendID: pendID}}}
+		f := r.getFlight()
+		f.line, f.kind, f.dirty, f.needL1 = line, flightDemand, store, true
+		f.waiters = append(f.waiters, waiter{th: th, pendID: pendID})
 		r.flights[line] = f
 		r.enqueueRead(line, th.ID, th.Now)
 	}
@@ -471,7 +504,9 @@ func (r *runner) psMiss(th *cpu.Thread, line mem.Line) {
 		if req.IntoL1 {
 			kind = flightPSL1
 		}
-		r.flights[req.Line] = &flight{line: req.Line, kind: kind, needL1: req.IntoL1}
+		f := r.getFlight()
+		f.line, f.kind, f.needL1 = req.Line, kind, req.IntoL1
+		r.flights[req.Line] = f
 		r.psBusy++
 		r.enqueueRead(req.Line, th.ID, th.Now)
 	}
@@ -522,6 +557,7 @@ func (r *runner) onReadDone(cmd mem.Command, at uint64) {
 		r.cmdID++
 		r.ctrl.Enqueue(mem.Command{Kind: mem.Write, Line: l, Thread: cmd.Thread, Arrival: at, ID: r.cmdID})
 	}
+	r.putFlight(f)
 }
 
 // collect assembles the Result.

@@ -49,6 +49,11 @@ type Filter struct {
 	slots []slot
 	onEnd EndFunc
 
+	// minExpiry is a lower bound on the earliest expiresAt among valid
+	// slots (^uint64(0) when none can expire), letting the per-cycle
+	// expiry sweep early-exit while nothing has run out.
+	minExpiry uint64
+
 	// Observations counts Reads presented to the filter.
 	Observations uint64
 	// Overflows counts Reads that could not allocate a slot.
@@ -66,7 +71,7 @@ func NewFilter(cfg Config, onEnd EndFunc) *Filter {
 	if cfg.Lifetime == 0 {
 		panic("stream: Lifetime must be positive")
 	}
-	return &Filter{cfg: cfg, slots: make([]slot, cfg.Slots), onEnd: onEnd}
+	return &Filter{cfg: cfg, slots: make([]slot, cfg.Slots), onEnd: onEnd, minExpiry: ^uint64(0)}
 }
 
 // Observation is the filter's verdict on one Read.
@@ -100,18 +105,21 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 			s.length++
 			s.last = line
 			s.expiresAt = now + f.cfg.Lifetime
+			f.noteExpiry(s.expiresAt)
 			return Observation{Length: s.length, Dir: s.dir, Tracked: true}
 		case s.length == 1 && line == s.last.Next(-1):
 			s.dir = mem.Down
 			s.length = 2
 			s.last = line
 			s.expiresAt = now + f.cfg.Lifetime
+			f.noteExpiry(s.expiresAt)
 			return Observation{Length: 2, Dir: mem.Down, Tracked: true}
 		case line == s.last:
 			// Repeated access to the stream head: refresh lifetime,
 			// no length change.
 			f.Repeats++
 			s.expiresAt = now + f.cfg.Lifetime
+			f.noteExpiry(s.expiresAt)
 			return Observation{Length: s.length, Dir: s.dir, Tracked: true}
 		}
 	}
@@ -123,6 +131,7 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 			continue
 		}
 		*s = slot{valid: true, last: line, length: 1, dir: mem.Up, expiresAt: now + f.cfg.Lifetime}
+		f.noteExpiry(s.expiresAt)
 		return Observation{Length: 1, Dir: mem.Up, Tracked: true}
 	}
 
@@ -132,15 +141,34 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 	return Observation{Length: 1, Dir: mem.Up, Tracked: false}
 }
 
-// expire retires slots whose lifetime has run out at cycle now.
+// noteExpiry lowers the cached expiry bound to cover a refreshed slot.
+func (f *Filter) noteExpiry(at uint64) {
+	if at < f.minExpiry {
+		f.minExpiry = at
+	}
+}
+
+// expire retires slots whose lifetime has run out at cycle now. While
+// the earliest possible expiry is still in the future the sweep is
+// skipped: no slot can have run out, so skipping is invisible.
 func (f *Filter) expire(now uint64) {
+	if now < f.minExpiry {
+		return
+	}
+	min := ^uint64(0)
 	for i := range f.slots {
 		s := &f.slots[i]
-		if s.valid && s.expiresAt <= now {
+		if !s.valid {
+			continue
+		}
+		if s.expiresAt <= now {
 			f.end(s.length, s.dir)
 			s.valid = false
+		} else if s.expiresAt < min {
+			min = s.expiresAt
 		}
 	}
+	f.minExpiry = min
 }
 
 // Tick retires expired slots without observing a Read; the memory
@@ -158,6 +186,7 @@ func (f *Filter) FlushEpoch() {
 			s.valid = false
 		}
 	}
+	f.minExpiry = ^uint64(0)
 }
 
 // Live returns the number of valid slots (for tests and reporting).

@@ -1,0 +1,47 @@
+// BenchmarkSimThroughput measures raw simulation-kernel speed — simulated
+// CPU cycles per wall second and heap allocations per run — for each of
+// the paper's four configurations. It is the guard benchmark for the
+// allocation-free kernel work: CI runs it with `-benchtime=1x -benchmem`
+// and BENCH_throughput.json records the tracked baseline.
+package asdsim_test
+
+import (
+	"testing"
+
+	"asdsim"
+)
+
+// throughputBudget is large enough that per-run setup (generator tables,
+// cache directories) is amortised and the steady-state MC/DRAM loop
+// dominates, while keeping `-benchtime=1x` smoke runs under a second.
+const throughputBudget = 300_000
+
+func benchThroughput(b *testing.B, bench string, mode asdsim.Mode) {
+	b.Helper()
+	cfg := asdsim.DefaultConfig(mode, throughputBudget)
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := asdsim.Run(bench, cfg)
+		if err != nil {
+			b.Fatalf("%s/%v: %v", bench, mode, err)
+		}
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+}
+
+func BenchmarkSimThroughput(b *testing.B) {
+	// GemsFDTD is the paper's most stream-heavy workload: every MC
+	// subsystem (reorder queues, CAQ, LPQ, PB, ASD engine) is exercised.
+	for _, mode := range []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchThroughput(b, "GemsFDTD", mode)
+		})
+	}
+}
