@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -171,8 +172,25 @@ func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, quiet bool
 	fmt.Printf("\n%d runs (%d resumed, %d failed) on %d workers in %s — %.2f runs/s, %.0f Minstr/s simulated\n",
 		len(outcomes), snap.Resumed, failed, pool.Workers(), elapsed.Round(time.Millisecond),
 		float64(len(outcomes))/elapsed.Seconds(), snap.SimInstrPerSec/1e6)
+	if p50, p95, max, n := pool.Metrics().LatencySummary(); n > 0 {
+		fmt.Printf("run latency: p50 <= %s, p95 <= %s, max %s over %d runs\n",
+			fmtLatency(p50), fmtLatency(p95), fmtLatency(max), n)
+	}
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// fmtLatency renders a latency bound in seconds compactly; the p50/p95
+// bounds can be +Inf when the quantile lands in the open bucket.
+func fmtLatency(sec float64) string {
+	switch {
+	case math.IsInf(sec, 1):
+		return ">300s"
+	case sec >= 1:
+		return fmt.Sprintf("%.3gs", sec)
+	default:
+		return fmt.Sprintf("%.0fms", sec*1e3)
 	}
 }
 
@@ -276,6 +294,7 @@ func serve(args []string) {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	out := fs.String("out", "", "JSONL results file shared by every job (persistence + resume)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
+	observe := fs.Bool("observe", true, "attach per-run telemetry (flight recorder, sparklines, depth table)")
 	fs.Parse(args)
 
 	var store *farm.Store
@@ -286,20 +305,34 @@ func serve(args []string) {
 		}
 		defer store.Close()
 	}
-	pool := farm.New(farm.Options{Workers: *workers})
-	defer pool.Close()
+	opts := farm.Options{Workers: *workers}
+	var tel *farm.Telemetry
+	if *observe {
+		tel = farm.NewTelemetry()
+		opts.Instrument = tel.Instrument
+	}
+	pool := farm.New(opts)
 
 	api := farm.NewServer(pool, store)
+	if tel != nil {
+		api.AttachTelemetry(tel)
+	}
 	if *pprofOn {
 		api.EnablePprof()
 	}
 	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Graceful shutdown, in dependency order: cancel jobs and end SSE
+	// streams, then close the listener draining in-flight requests, then
+	// drain the pool; the store closes via its defer, flushing the JSONL
+	// file last.
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		fmt.Fprintln(os.Stderr, "asdfarm: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		api.Shutdown(shutdownCtx)
 		srv.Shutdown(shutdownCtx)
 	}()
 
@@ -307,6 +340,7 @@ func serve(args []string) {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	pool.Close()
 }
 
 func fatal(err error) {

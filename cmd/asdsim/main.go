@@ -4,14 +4,18 @@
 // Usage:
 //
 //	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style|ghb] [-v]
-//	       [-obs] [-obs-interval N] [-obs-csv file] [-trace file]
-//	       [-cpuprofile file] [-memprofile file]
+//	       [-obs] [-obs-interval N] [-obs-csv file] [-obs-jsonl file] [-trace file]
+//	       [-flightrec prefix] [-cpuprofile file] [-memprofile file]
 //
 // Observability: -obs attaches the probe bus and prints per-mode
-// time-series and per-depth prefetch summaries; -obs-csv writes the
-// windowed samples as CSV; -trace writes a Chrome trace-event JSON file
-// (open it in chrome://tracing or https://ui.perfetto.dev) with one
-// process group per simulated mode.
+// time-series and per-depth prefetch summaries; -obs-csv / -obs-jsonl
+// write the windowed samples as CSV or JSON Lines; -trace writes a
+// Chrome trace-event JSON file (open it in chrome://tracing or
+// https://ui.perfetto.dev) with one process group per simulated mode.
+// -flightrec arms the anomaly flight recorder: when a detector trips
+// (CAQ saturation, late-prefetch spike, bank-conflict storm, prefetch
+// waste), a triage bundle is written to <prefix>-<mode>-bN.json with a
+// human-readable report beside it as .txt.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strings"
 
 	"asdsim/internal/obs"
+	"asdsim/internal/obs/flightrec"
 	"asdsim/internal/sim"
 	"asdsim/internal/workload"
 )
@@ -42,6 +47,8 @@ func run() int {
 	obsOn := flag.Bool("obs", false, "attach the probe bus and print time-series/per-depth summaries")
 	obsInterval := flag.Uint64("obs-interval", obs.DefaultSampleInterval, "sampler window width in CPU cycles")
 	obsCSV := flag.String("obs-csv", "", "write windowed samples as CSV to `file` (implies -obs)")
+	obsJSONL := flag.String("obs-jsonl", "", "write windowed samples as JSON Lines to `file` (implies -obs)")
+	flightPrefix := flag.String("flightrec", "", "arm the anomaly flight recorder; triage bundles go to `prefix`-<mode>-bN.json/.txt")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to `file` (implies -obs)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
@@ -69,7 +76,7 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	observing := *obsOn || *obsCSV != "" || *tracePath != ""
+	observing := *obsOn || *obsCSV != "" || *obsJSONL != "" || *tracePath != ""
 	var tracer *obs.TraceBuilder
 	if *tracePath != "" {
 		tracer = obs.NewTraceBuilder()
@@ -87,6 +94,16 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+	}
+	var jsonlFile *os.File
+	if *obsJSONL != "" {
+		f, err := os.Create(*obsJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		jsonlFile = f
 	}
 
 	exit := 0
@@ -107,15 +124,25 @@ func run() int {
 
 		var sampler *obs.Sampler
 		var depths *obs.DepthStats
-		if observing {
+		var recorder *flightrec.Recorder
+		if observing || *flightPrefix != "" {
 			bus := obs.NewBus()
-			sampler = obs.NewSampler(*obsInterval)
-			depths = &obs.DepthStats{}
-			bus.Attach(sampler)
-			bus.Attach(depths)
+			if observing {
+				sampler = obs.NewSampler(*obsInterval)
+				depths = &obs.DepthStats{}
+				bus.Attach(sampler)
+				bus.Attach(depths)
+			}
 			if tracer != nil {
 				tracer.StartProcess(fmt.Sprintf("%s %s", *bench, mode))
 				bus.Attach(tracer)
+			}
+			if *flightPrefix != "" {
+				recorder = flightrec.New(flightrec.Options{
+					Label:     fmt.Sprintf("%s/%s", *bench, mode),
+					Detectors: flightrec.DefaultDetectors(cfg.MC.CAQCap),
+				})
+				bus.Attach(recorder)
 			}
 			cfg.Obs = bus
 		}
@@ -157,6 +184,19 @@ func run() int {
 					exit = 1
 				}
 			}
+			if jsonlFile != nil {
+				if err := sampler.WriteJSONL(jsonlFile, fmt.Sprintf("%s/%s", *bench, mode)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					exit = 1
+				}
+			}
+		}
+		if recorder != nil {
+			recorder.Finish()
+			if err := dumpBundles(recorder, *flightPrefix, mode.String()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
 		}
 	}
 
@@ -195,6 +235,47 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// dumpBundles writes every captured triage bundle as JSON plus a
+// human-readable report, and prints one line per trigger (or a healthy
+// note when none fired).
+func dumpBundles(rec *flightrec.Recorder, prefix, mode string) error {
+	if len(rec.Triggers()) == 0 {
+		fmt.Printf("     flightrec: no anomalies (%d events recorded)\n", rec.EventsSeen())
+		return nil
+	}
+	for _, tr := range rec.Triggers() {
+		fmt.Printf("     flightrec: %s at window %d (cycle %d): %s\n",
+			tr.Detector, tr.Window, tr.Cycle, tr.Detail)
+	}
+	for i, b := range rec.Bundles() {
+		base := fmt.Sprintf("%s-%s-b%d", prefix, mode, i+1)
+		jf, err := os.Create(base + ".json")
+		if err != nil {
+			return err
+		}
+		err = b.WriteJSON(jf)
+		if cerr := jf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		rf, err := os.Create(base + ".txt")
+		if err != nil {
+			return err
+		}
+		err = b.WriteReport(rf)
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("     flightrec: bundle %s.json (+.txt report)\n", base)
+	}
+	return nil
 }
 
 // printObsSummary condenses the sampler's windows into a small table:

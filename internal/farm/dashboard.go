@@ -1,0 +1,19 @@
+package farm
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the single-file live dashboard: it subscribes to
+// /events with EventSource and renders worker utilization, queue depth,
+// the per-job gain table, CAQ-occupancy sparklines and the anomaly
+// feed. Embedded so `asdfarm serve` stays a single static binary.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

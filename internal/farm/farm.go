@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"asdsim/internal/obs"
 	"asdsim/internal/sim"
 )
 
@@ -91,6 +92,14 @@ type Options struct {
 	Run RunFunc
 	// Metrics receives the pool's counters; one is created if nil.
 	Metrics *Metrics
+	// Instrument, when set, is invoked before every attempt. The
+	// returned bus (which may be nil) is attached as the attempt's
+	// observability sink, and finish — if non-nil — is called when the
+	// attempt ends, with its result (zero on failure) and error.
+	// Attaching observers never changes simulated outcomes (the obs
+	// perturbation tests pin this), so instrumented farms stay
+	// bit-identical to bare ones.
+	Instrument func(spec Spec) (bus *obs.Bus, finish func(res *sim.Result, err error))
 }
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -230,7 +239,7 @@ func (p *Pool) runJob(ctx context.Context, spec Spec) Outcome {
 	}
 	o.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	p.metrics.busy.Add(-1)
-	p.metrics.finish(&o)
+	p.metrics.finish(&spec, &o)
 	return o
 }
 
@@ -242,6 +251,15 @@ func (p *Pool) attempt(ctx context.Context, spec Spec, o *Outcome) (res sim.Resu
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, spec.Timeout)
 		defer cancel()
+	}
+	if p.opts.Instrument != nil {
+		bus, fin := p.opts.Instrument(spec)
+		spec.Config.Obs = bus
+		if fin != nil {
+			// Registered before the recover defer so it runs after the
+			// panic (if any) has been converted into err.
+			defer func() { fin(&res, err) }()
+		}
 	}
 	defer func() {
 		if rec := recover(); rec != nil {

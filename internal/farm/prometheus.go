@@ -1,0 +1,142 @@
+package farm
+
+import (
+	"sort"
+
+	prom "asdsim/internal/metrics"
+)
+
+// This file adapts the farm's live state into Prometheus metric
+// families. The exposition is collect-on-scrape: every request builds
+// a fresh registry from the atomic counters and the labeled cell map,
+// so there is no second bookkeeping path that could drift from the
+// JSON /metrics view.
+
+// AddTo folds the pool counters, the per-cell labeled run series and
+// the wall-clock latency histograms into reg.
+func (m *Metrics) AddTo(reg *prom.Registry) {
+	s := m.Snapshot()
+	gauge := func(name, help string, v float64) {
+		reg.Gauge(name, help).With().Set(v)
+	}
+	counter := func(name, help string, v float64) {
+		reg.Counter(name, help).With().Add(v)
+	}
+	gauge("farm_workers", "Size of the simulation worker pool.", float64(s.Workers))
+	gauge("farm_busy_workers", "Workers currently executing a run.", float64(s.BusyWorkers))
+	gauge("farm_worker_utilization", "Busy workers as a fraction of the pool.", s.WorkerUtilization)
+	gauge("farm_queue_depth", "Runs queued and not yet started.", float64(s.QueueDepth))
+	gauge("farm_uptime_seconds", "Seconds since the pool was created.", s.UptimeSec)
+	counter("farm_runs_submitted_total", "Runs submitted to the pool.", float64(s.Submitted))
+	counter("farm_runs_completed_total", "Runs finished successfully.", float64(s.Completed))
+	counter("farm_runs_failed_total", "Runs that exhausted their retries.", float64(s.Failed))
+	counter("farm_runs_retried_total", "Individual attempt retries.", float64(s.Retried))
+	counter("farm_runs_resumed_total", "Runs served from the JSONL store.", float64(s.Resumed))
+	counter("farm_sim_instructions_total", "Simulated instructions aggregated over completed runs.", float64(s.SimInstructions))
+	counter("farm_sim_cycles_total", "Simulated CPU cycles aggregated over completed runs.", float64(s.SimCycles))
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	keys := make([]cellKey, 0, len(m.cells))
+	for k := range m.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].bench != keys[b].bench {
+			return keys[a].bench < keys[b].bench
+		}
+		if keys[a].mode != keys[b].mode {
+			return keys[a].mode < keys[b].mode
+		}
+		return keys[a].engine < keys[b].engine
+	})
+
+	runs := reg.Counter("farm_runs_total",
+		"Terminal run outcomes by benchmark, mode, engine and status.",
+		"benchmark", "mode", "engine", "status")
+	wall := reg.Histogram("farm_run_wall_seconds",
+		"Run wall-clock duration by mode and engine.",
+		latencyBounds, "mode", "engine")
+	simLabels := []string{"benchmark", "mode", "engine"}
+	for _, k := range keys {
+		c := m.cells[k]
+		mode, engine := k.mode.String(), k.engine.String()
+		if c.completed > 0 {
+			runs.With(k.bench, mode, engine, "ok").Add(float64(c.completed))
+		}
+		if c.failed > 0 {
+			runs.With(k.bench, mode, engine, "failed").Add(float64(c.failed))
+		}
+		// Replay the cell's pre-bucketed latency counts; the recorded
+		// sum preserves _sum exactly even though raw values are gone.
+		ws := wall.With(mode, engine)
+		total := c.wall.Total()
+		for v := 1; v <= c.wall.Buckets(); v++ {
+			if n := c.wall.Count(v); n > 0 {
+				ws.AddBucket(v-1, n, 0)
+			}
+		}
+		if total > 0 {
+			ws.AddBucket(c.wall.Buckets(), 0, c.wallSum) // fold the true sum in
+		}
+		if c.last != nil {
+			prom.AddResult(reg, c.last, simLabels, []string{k.bench, mode, engine})
+		}
+	}
+}
+
+// sortedJobIDs returns the server's job IDs in creation order (the
+// numeric suffix orders them; lexicographic sort is wrong past job-9).
+func (s *Server) sortedJobIDs() []string {
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if len(ids[a]) != len(ids[b]) {
+			return len(ids[a]) < len(ids[b])
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// addJobsTo folds per-job progress gauges into reg.
+func (s *Server) addJobsTo(reg *prom.Registry) {
+	s.mu.Lock()
+	ids := s.sortedJobIDs()
+	sums := make([]jobSummary, 0, len(ids))
+	for _, id := range ids {
+		sums = append(sums, s.jobs[id].summary())
+	}
+	s.mu.Unlock()
+
+	if len(sums) == 0 {
+		return
+	}
+	jr := reg.Gauge("farm_job_runs",
+		"Per-job run counts by state (total, done, failed, resumed).",
+		"job", "state")
+	el := reg.Gauge("farm_job_elapsed_seconds", "Per-job elapsed wall-clock.", "job")
+	for _, sum := range sums {
+		jr.With(sum.ID, "total").Set(float64(sum.Total))
+		jr.With(sum.ID, "done").Set(float64(sum.Done))
+		jr.With(sum.ID, "failed").Set(float64(sum.Failed))
+		jr.With(sum.ID, "resumed").Set(float64(sum.Resumed))
+		el.With(sum.ID).Set(sum.ElapsedSec)
+	}
+}
+
+// buildRegistry assembles the full scrape payload: pool counters,
+// labeled run series, per-job progress, and — when telemetry is
+// attached — the aggregated per-depth prefetch table.
+func (s *Server) buildRegistry() *prom.Registry {
+	reg := prom.NewRegistry()
+	s.pool.Metrics().AddTo(reg)
+	s.addJobsTo(reg)
+	if s.telemetry != nil {
+		s.telemetry.addTo(reg)
+	}
+	return reg
+}

@@ -25,14 +25,18 @@ import (
 // A non-nil store gives every submitted job resume-from-partial-results
 // against the same JSONL file the CLI writes.
 type Server struct {
-	pool   *Pool
-	store  *Store
-	pprof  bool
-	expvar *expvar.Map
+	pool      *Pool
+	store     *Store
+	pprof     bool
+	expvar    *expvar.Map
+	telemetry *Telemetry
+	// sseInterval is the /events push period; tests shrink it.
+	sseInterval time.Duration
 
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*serverJob
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*serverJob
+	shutdown chan struct{} // closed by Shutdown; nil until first Handler use
 }
 
 // farmJobsVar is the process-wide expvar map live per-job counters are
@@ -55,7 +59,59 @@ type serverJob struct {
 
 // NewServer wraps pool (and an optional store) in an HTTP API.
 func NewServer(pool *Pool, store *Store) *Server {
-	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob), expvar: farmJobsVar}
+	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob),
+		expvar: farmJobsVar, sseInterval: time.Second, shutdown: make(chan struct{})}
+}
+
+// AttachTelemetry registers the aggregator feeding the Prometheus
+// depth/anomaly families, the dashboard sparklines and /flightrec. The
+// caller wires t.Instrument into the pool's Options.
+func (s *Server) AttachTelemetry(t *Telemetry) { s.telemetry = t }
+
+// Telemetry returns the attached aggregator (nil when none).
+func (s *Server) Telemetry() *Telemetry { return s.telemetry }
+
+// Shutdown cancels every running job, wakes all /events streams so they
+// terminate, and waits — up to ctx's deadline — for the jobs to reach a
+// terminal state. Call it before http.Server.Shutdown so in-flight SSE
+// responses end instead of holding the listener open.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	select {
+	case <-s.shutdown:
+	default:
+		close(s.shutdown)
+	}
+	jobs := make([]*serverJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		settled := true
+		for _, j := range jobs {
+			j.mu.Lock()
+			fin := !j.finished.IsZero()
+			j.mu.Unlock()
+			if !fin {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // EnablePprof mounts net/http/pprof profiling endpoints under
@@ -72,6 +128,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /flightrec", s.handleFlightrecList)
+	mux.HandleFunc("GET /flightrec/{id}", s.handleFlightrecBundle)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -210,16 +270,10 @@ type benchGains struct {
 	PMSvsPS   *float64 `json:"pms_vs_ps_pct,omitempty"`
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
-	if j == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
-		return
-	}
-	j.mu.Lock()
-	outcomes := append([]Outcome(nil), j.outcomes...)
-	j.mu.Unlock()
-
+// runsAndGains shapes a job's outcomes into sorted run rows and the
+// per-benchmark paper-comparison gains; shared by /jobs/{id} and the
+// SSE stream.
+func runsAndGains(outcomes []Outcome) ([]runView, []benchGains) {
 	runs := make([]runView, len(outcomes))
 	cycles := map[string]map[sim.Mode]uint64{}
 	for i, o := range outcomes {
@@ -264,6 +318,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			gains = append(gains, g)
 		}
 	}
+	return runs, gains
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	outcomes := append([]Outcome(nil), j.outcomes...)
+	j.mu.Unlock()
+	runs, gains := runsAndGains(outcomes)
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"job":   j.summary(),
@@ -296,6 +363,12 @@ type metricsView struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		reg := s.buildRegistry()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteTo(w)
+		return
+	}
 	s.mu.Lock()
 	jobs := make(map[string]jobSummary, len(s.jobs))
 	for id, j := range s.jobs {
@@ -303,4 +376,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, metricsView{Snapshot: s.pool.Metrics().Snapshot(), Jobs: jobs})
+}
+
+// handleFlightrecList returns the retained triage bundles' index: ID,
+// run label and trigger, so a bundle can be fetched by ID.
+func (s *Server) handleFlightrecList(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID       string `json:"id"`
+		Label    string `json:"label"`
+		Detector string `json:"detector"`
+		Detail   string `json:"detail"`
+		Window   uint64 `json:"window"`
+		Cycle    uint64 `json:"cycle"`
+	}
+	rows := []row{}
+	if s.telemetry != nil {
+		for _, b := range s.telemetry.Bundles() {
+			rows = append(rows, row{ID: b.ID, Label: b.Bundle.Label,
+				Detector: b.Bundle.Trigger.Detector, Detail: b.Bundle.Trigger.Detail,
+				Window: b.Bundle.Trigger.Window, Cycle: b.Bundle.Trigger.Cycle})
+		}
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleFlightrecBundle serves one triage bundle: JSON by default, the
+// human-readable report with ?format=report.
+func (s *Server) handleFlightrecBundle(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.telemetry == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no telemetry attached"))
+		return
+	}
+	b := s.telemetry.Bundle(id)
+	if b == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such bundle %q", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "report" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		b.WriteReport(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b.WriteJSON(w)
 }

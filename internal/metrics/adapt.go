@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strconv"
+
+	"asdsim/internal/obs"
+	"asdsim/internal/sim"
+)
+
+// This file adapts the simulator's native measurement types into
+// metric families. Each Add* call is collect-on-scrape: it folds the
+// source's current state into the registry under the given label
+// values, declaring the families on first use. Within one registry all
+// calls to the same adapter must use the same label-name schema.
+
+// AddDepthStats folds a per-depth prefetch-efficiency table into one
+// labeled counter family, obs_prefetch_depth_events_total, with a
+// `depth` label (the deepest bucket is open-ended, "8+") and an
+// `outcome` label naming the event class.
+func AddDepthStats(r *Registry, d *obs.DepthStats, labelNames, labelValues []string) {
+	names := append(append([]string(nil), labelNames...), "depth", "outcome")
+	fam := r.Counter("obs_prefetch_depth_events_total",
+		"Memory-side prefetch events by prefetch depth and outcome.", names...)
+	outcomes := []struct {
+		name   string
+		counts *[obs.MaxTrackedDepth + 1]uint64
+	}{
+		{"nominated", &d.Nominated},
+		{"issued", &d.Issued},
+		{"timely", &d.Timely},
+		{"late", &d.Late},
+		{"wasted", &d.Wasted},
+		{"dropped", &d.Dropped},
+	}
+	for depth := 1; depth <= obs.MaxTrackedDepth; depth++ {
+		dl := strconv.Itoa(depth)
+		if depth == obs.MaxTrackedDepth {
+			dl += "+"
+		}
+		for _, oc := range outcomes {
+			if n := oc.counts[depth]; n > 0 {
+				values := append(append([]string(nil), labelValues...), dl, oc.name)
+				fam.With(values...).Add(float64(n))
+			}
+		}
+	}
+}
+
+// AddResult folds one finished run's headline statistics into labeled
+// families: simulated work as counters, rates and hit fractions as
+// gauges. Prefetch-efficiency gauges are emitted only for modes where
+// memory-side prefetching ran (they are identically zero otherwise).
+func AddResult(r *Registry, res *sim.Result, labelNames, labelValues []string) {
+	counter := func(name, help string, v float64) {
+		if v != 0 {
+			r.Counter(name, help, labelNames...).With(labelValues...).Add(v)
+		}
+	}
+	gauge := func(name, help string, v float64) {
+		r.Gauge(name, help, labelNames...).With(labelValues...).Set(v)
+	}
+	counter("sim_cycles_total", "Simulated CPU cycles executed.", float64(res.Cycles))
+	counter("sim_instructions_total", "Simulated instructions retired.", float64(res.Instructions))
+	counter("sim_stall_cycles_total", "CPU cycles threads spent blocked on memory.", float64(res.StallCycles))
+	gauge("sim_ipc", "Instructions per cycle of the run.", res.IPC)
+	gauge("sim_l1_hit_rate", "L1 data cache hit rate.", res.L1HitRate)
+	gauge("sim_l2_hit_rate", "L2 cache hit rate.", res.L2HitRate)
+	gauge("sim_l3_hit_rate", "L3 victim cache hit rate.", res.L3HitRate)
+	if res.Mode == sim.MS || res.Mode == sim.PMS {
+		gauge("sim_prefetch_coverage", "Fraction of demand reads covered by memory-side prefetches.", res.Coverage)
+		gauge("sim_prefetch_useful_fraction", "Fraction of issued memory-side prefetches that were used.", res.UsefulPrefetchFrac)
+		gauge("sim_delayed_regular_fraction", "Fraction of regular commands delayed behind prefetches.", res.DelayedRegularFrac)
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"asdsim/internal/obs"
+	"asdsim/internal/sim"
+)
+
+func TestAddDepthStats(t *testing.T) {
+	var d obs.DepthStats
+	d.Nominated[1] = 10
+	d.Timely[1] = 7
+	d.Late[2] = 3
+	d.Wasted[obs.MaxTrackedDepth] = 2
+
+	r := NewRegistry()
+	AddDepthStats(r, &d, []string{"benchmark"}, []string{"GemsFDTD"})
+	got := render(t, r)
+	for _, line := range []string{
+		`obs_prefetch_depth_events_total{benchmark="GemsFDTD",depth="1",outcome="nominated"} 10`,
+		`obs_prefetch_depth_events_total{benchmark="GemsFDTD",depth="1",outcome="timely"} 7`,
+		`obs_prefetch_depth_events_total{benchmark="GemsFDTD",depth="2",outcome="late"} 3`,
+		`obs_prefetch_depth_events_total{benchmark="GemsFDTD",depth="8+",outcome="wasted"} 2`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Errorf("Lint: %v", err)
+	}
+}
+
+func TestAddResult(t *testing.T) {
+	res, err := sim.Run("GemsFDTD", sim.Default(sim.MS, 60_000))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := NewRegistry()
+	labels := []string{"benchmark", "mode"}
+	values := []string{res.Benchmark, res.Mode.String()}
+	AddResult(r, &res, labels, values)
+	got := render(t, r)
+	for _, fam := range []string{
+		"sim_cycles_total", "sim_instructions_total", "sim_ipc",
+		"sim_l1_hit_rate", "sim_prefetch_coverage",
+	} {
+		if !strings.Contains(got, fam+`{benchmark="GemsFDTD",mode="MS"}`) {
+			t.Errorf("missing family %s in:\n%s", fam, got)
+		}
+	}
+	if err := Lint([]byte(got)); err != nil {
+		t.Errorf("Lint: %v", err)
+	}
+	// Folding a second run into the same registry must accumulate the
+	// counters, not redeclare the families.
+	AddResult(r, &res, labels, values)
+}

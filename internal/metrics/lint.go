@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a text-exposition payload against the 0.0.4 grammar:
+// every line must be a well-formed HELP/TYPE comment or sample; every
+// family must open with a HELP+TYPE pair before its samples; histogram
+// families must expose _bucket series ending in le="+Inf" plus _sum and
+// _count, with the +Inf bucket equal to _count. It returns the first
+// violation found. Lint is used by this package's own tests and by the
+// farm's scrape-endpoint tests, so the grammar is enforced everywhere
+// an exposition is produced.
+func Lint(payload []byte) error {
+	var (
+		reHelp   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+		reType   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+		reSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*")*\})? (NaN|[+-]Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+		reInf    = regexp.MustCompile(`le="\+Inf"`)
+	)
+	type famState struct {
+		typ       string
+		sawHelp   bool
+		sawInf    bool
+		infVal    map[string]float64 // base labels -> +Inf bucket value
+		countVal  map[string]float64
+		sawSum    bool
+		sawSample bool
+	}
+	fams := map[string]*famState{}
+	var lastHelp string
+	baseName := func(n string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(n, suf); ok {
+				if f := fams[b]; f != nil && f.typ == "histogram" {
+					return b
+				}
+			}
+		}
+		return n
+	}
+	// stripLE removes the le pair so +Inf buckets and _count samples of
+	// the same series can be matched up.
+	reLE := regexp.MustCompile(`(\{|,)le="[^"]*"(,|\})`)
+	stripLE := func(labels string) string {
+		out := reLE.ReplaceAllStringFunc(labels, func(m string) string {
+			if strings.HasPrefix(m, "{") && strings.HasSuffix(m, "}") {
+				return ""
+			}
+			if strings.HasPrefix(m, "{") {
+				return "{"
+			}
+			return m[len(m)-1:]
+		})
+		return out
+	}
+
+	for i, line := range strings.Split(string(payload), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if m := reHelp.FindStringSubmatch(line); m != nil {
+			f := fams[m[1]]
+			if f == nil {
+				f = &famState{infVal: map[string]float64{}, countVal: map[string]float64{}}
+				fams[m[1]] = f
+			}
+			if f.sawSample {
+				return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, m[1])
+			}
+			f.sawHelp = true
+			lastHelp = m[1]
+			continue
+		}
+		if m := reType.FindStringSubmatch(line); m != nil {
+			f := fams[m[1]]
+			if f == nil || !f.sawHelp || lastHelp != m[1] {
+				return fmt.Errorf("line %d: TYPE for %s without preceding HELP", lineNo, m[1])
+			}
+			if f.sawSample {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, m[1])
+			}
+			f.typ = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: malformed comment: %q", lineNo, line)
+		}
+		m := reSample.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[5]
+		base := baseName(name)
+		f := fams[base]
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s before HELP/TYPE for %s", lineNo, name, base)
+		}
+		f.sawSample = true
+		if f.typ == "histogram" {
+			val, _ := strconv.ParseFloat(valStr, 64)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !strings.Contains(labels, `le="`) {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				if reInf.MatchString(labels) {
+					f.sawInf = true
+					f.infVal[stripLE(labels)] = val
+				}
+			case strings.HasSuffix(name, "_sum"):
+				f.sawSum = true
+			case strings.HasSuffix(name, "_count"):
+				f.countVal[labels] = val
+			default:
+				return fmt.Errorf("line %d: bare sample %s for histogram %s", lineNo, name, base)
+			}
+		}
+	}
+	for name, f := range fams {
+		if f.typ == "" {
+			return fmt.Errorf("family %s: HELP without TYPE", name)
+		}
+		if f.typ == "histogram" && f.sawSample {
+			if !f.sawInf || !f.sawSum || len(f.countVal) == 0 {
+				return fmt.Errorf("histogram %s missing le=\"+Inf\" bucket, _sum or _count", name)
+			}
+			for labels, c := range f.countVal {
+				if inf, ok := f.infVal[labels]; !ok || inf != c {
+					return fmt.Errorf("histogram %s%s: +Inf bucket %v != _count %v", name, labels, f.infVal[labels], c)
+				}
+			}
+		}
+	}
+	return nil
+}

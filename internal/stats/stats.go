@@ -207,6 +207,31 @@ func (h *Histogram) Mean() float64 {
 	return sum / float64(h.total)
 }
 
+// Quantile returns the smallest bucket value v in [1, N] such that at
+// least q (0..1) of all observations are <= v; 0 when the histogram is
+// empty. With bucketed data this is the conservative (upper-bound)
+// quantile — the true q-quantile lies at or below the returned bucket.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := q * float64(h.total)
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if float64(cum) >= need && cum > 0 {
+			return i + 1
+		}
+	}
+	return len(h.buckets)
+}
+
 // Set is a string-keyed collection of counters with deterministic listing
 // order, used for per-run metric dumps.
 type Set struct {

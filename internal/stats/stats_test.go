@@ -177,3 +177,31 @@ func TestMeanAndGeoMean(t *testing.T) {
 		t.Errorf("GeoMean of non-positive = %v, want 0", got)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	// 10 observations of 1..10: the q-quantile is ceil(10q).
+	for v := 1; v <= 10; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int
+	}{{0, 1}, {0.1, 1}, {0.5, 5}, {0.95, 10}, {1, 10}, {1.5, 10}, {-1, 1}}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Skewed: everything in bucket 3.
+	h.Reset()
+	h.ObserveN(3, 100)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 3 {
+			t.Errorf("skewed Quantile(%v) = %d, want 3", q, got)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"asdsim"
+	"asdsim/internal/obs"
+	"asdsim/internal/obs/flightrec"
 )
 
 // throughputBudget is large enough that per-run setup (generator tables,
@@ -42,6 +44,42 @@ func BenchmarkSimThroughput(b *testing.B) {
 	for _, mode := range []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS} {
 		b.Run(mode.String(), func(b *testing.B) {
 			benchThroughput(b, "GemsFDTD", mode)
+		})
+	}
+}
+
+// BenchmarkSimThroughputFlightrec is the recorded-run companion: the
+// same workloads with the anomaly flight recorder attached to the probe
+// bus. The gap between the two benchmarks is the full cost of always-on
+// triage recording. Acceptance is tracked against BENCH_throughput.json:
+// the bare run must stay within 2% of the recorded baseline (a nil bus
+// keeps every probe behind a single branch) and the recorded run within
+// 10% of it; see the "flightrec" section there for current numbers.
+func BenchmarkSimThroughputFlightrec(b *testing.B) {
+	for _, mode := range []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := asdsim.DefaultConfig(mode, throughputBudget)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := flightrec.New(flightrec.Options{
+					Label:     "GemsFDTD/" + mode.String(),
+					Detectors: flightrec.DefaultDetectors(cfg.MC.CAQCap),
+				})
+				cfg.Obs = obs.NewBus(rec)
+				res, err := asdsim.Run("GemsFDTD", cfg)
+				if err != nil {
+					b.Fatalf("GemsFDTD/%v: %v", mode, err)
+				}
+				rec.Finish()
+				cycles += res.Cycles
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
 		})
 	}
 }
