@@ -1,0 +1,289 @@
+// Command asdlint runs asdsim's custom static-analysis suite (see
+// internal/lint): determinism, hotpath-noalloc, noperturb,
+// exhaustive-events and metriclint.
+//
+// It speaks cmd/go's vet-tool protocol, so the canonical invocation
+// routes through the build system and benefits from its caching and
+// per-package fact plumbing:
+//
+//	go build -o asdlint ./cmd/asdlint
+//	go vet -vettool=$(pwd)/asdlint ./...
+//
+// Invoked with package patterns instead of a vet config file, asdlint
+// re-executes itself through `go vet` for convenience:
+//
+//	asdlint ./...
+//
+// The protocol, implemented here without golang.org/x/tools (the
+// repo is dependency-free by policy): cmd/go probes the tool identity
+// with -V=full, then invokes the tool once per compilation unit with
+// the path to a JSON config file (*.cfg) describing the unit — source
+// files, the import map, and the export-data file of every
+// dependency. The tool type-checks the unit against that export data,
+// runs the analyzers, prints findings to stderr, and writes the
+// package's facts (hot-path certifications) to the .vetx output file
+// that cmd/go threads to dependent units.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"asdsim/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	for i, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full" || a == "-V" || a == "--V":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// Flag-schema handshake: no tool-specific flags.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(a, ".cfg"):
+			os.Exit(unitcheck(a))
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "asdlint: unknown flag %s\n", a)
+			os.Exit(2)
+		default:
+			os.Exit(standalone(args[i:]))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "usage: asdlint ./...  |  go vet -vettool=asdlint ./...")
+	os.Exit(2)
+}
+
+// printVersion answers cmd/go's -V=full identity probe. The build ID
+// hashes the executable so rebuilding the tool invalidates vet's
+// result cache.
+func printVersion() {
+	name := "asdlint"
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+// standalone re-executes through `go vet -vettool=self` so the one
+// protocol path serves both invocation styles.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	cmdArgs := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "asdlint: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes for each vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// serialFacts is the gob wire form of lint.Facts in .vetx files.
+type serialFacts struct {
+	Hotpath []string
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "asdlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, &lint.Facts{})
+			}
+			fmt.Fprintf(os.Stderr, "asdlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := newUnitImporter(&cfg, fset)
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(orDefault(cfg.Compiler, "gc"), build.Default.GOARCH),
+		Error:    func(error) {}, // collect all, fail below
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, &lint.Facts{})
+		}
+		fmt.Fprintf(os.Stderr, "asdlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &lint.Package{Fset: fset, Files: files, Types: tpkg, Info: info}
+	res := lint.Check(pkg, &lint.Config{DepFacts: imp.depFacts}, lint.All()...)
+
+	if code := writeVetx(&cfg, res.Facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(res.Diags) == 0 {
+		return 0
+	}
+	for _, d := range res.Diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [asdlint/%s]\n", fset.Position(d.Pos), d.Message, d.Pass)
+	}
+	return 2
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// writeVetx persists the unit's facts where cmd/go expects them.
+func writeVetx(cfg *vetConfig, facts *lint.Facts) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	sf := serialFacts{}
+	for name := range facts.Hotpath {
+		sf.Hotpath = append(sf.Hotpath, name)
+	}
+	f, err := os.Create(cfg.VetxOutput)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asdlint: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(sf); err != nil {
+		fmt.Fprintf(os.Stderr, "asdlint: encoding vetx: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// unitImporter resolves imports through the export-data files cmd/go
+// hands the unit, and dependency facts through their .vetx files.
+type unitImporter struct {
+	cfg   *vetConfig
+	gc    types.Importer
+	facts map[string]*lint.Facts
+}
+
+func newUnitImporter(cfg *vetConfig, fset *token.FileSet) *unitImporter {
+	u := &unitImporter{cfg: cfg, facts: map[string]*lint.Facts{}}
+	u.gc = importer.ForCompiler(fset, orDefault(cfg.Compiler, "gc"), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return u
+}
+
+// Import implements types.Importer with the unit's import map.
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := u.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return u.gc.Import(path)
+}
+
+// depFacts lazily loads a dependency's .vetx facts.
+func (u *unitImporter) depFacts(path string) *lint.Facts {
+	if f, ok := u.facts[path]; ok {
+		return f
+	}
+	u.facts[path] = nil // negative-cache failures
+	file, ok := u.cfg.PackageVetx[path]
+	if !ok {
+		if mapped, ok2 := u.cfg.ImportMap[path]; ok2 {
+			file, ok = u.cfg.PackageVetx[mapped]
+		}
+		if !ok {
+			return nil
+		}
+	}
+	rd, err := os.Open(file)
+	if err != nil {
+		return nil
+	}
+	defer rd.Close()
+	var sf serialFacts
+	if err := gob.NewDecoder(rd).Decode(&sf); err != nil {
+		return nil
+	}
+	facts := &lint.Facts{Hotpath: map[string]bool{}}
+	for _, name := range sf.Hotpath {
+		facts.Hotpath[name] = true
+	}
+	u.facts[path] = facts
+	return facts
+}

@@ -110,6 +110,8 @@ func (h *Hierarchy) SetObserver(b *obs.Bus) { h.bus = b }
 // promote the line up to L1 (and into L2 on an L3 hit, victim-cache
 // style). A full miss performs no fill: callers must invoke Fill when
 // the memory system returns the line.
+//
+//asd:hotpath
 func (h *Hierarchy) Access(line mem.Line, store bool, now uint64) Result {
 	res := h.access(line, store)
 	if h.bus != nil {
@@ -148,6 +150,8 @@ func (h *Hierarchy) access(line mem.Line, store bool) Result {
 // marks the line dirty on arrival (write-allocate). The returned slice
 // aliases a scratch buffer and is valid only until the next hierarchy
 // call.
+//
+//asd:hotpath
 func (h *Hierarchy) Fill(line mem.Line, store bool) []mem.Line {
 	h.wbs = h.wbs[:0]
 	h.fillL2(line, store)
@@ -158,6 +162,8 @@ func (h *Hierarchy) Fill(line mem.Line, store bool) []mem.Line {
 // L1, which is how the Power5+ processor-side prefetcher stages its
 // further-ahead lines. The returned slice aliases a scratch buffer and
 // is valid only until the next hierarchy call.
+//
+//asd:hotpath
 func (h *Hierarchy) FillL2Only(line mem.Line) []mem.Line {
 	h.wbs = h.wbs[:0]
 	if v, ev := h.L2.Insert(line, false); ev {
@@ -198,6 +204,8 @@ func (h *Hierarchy) spillToL3(v Victim) {
 }
 
 // Contains reports whether any level holds the line (no state change).
+//
+//asd:hotpath
 func (h *Hierarchy) Contains(line mem.Line) bool {
 	return h.L1.Contains(line) || h.L2.Contains(line) || h.L3.Contains(line)
 }

@@ -65,6 +65,8 @@ type QueueState struct {
 // cumulative: each less-conservative policy also issues whenever any
 // more-conservative one would, which realises the paper's "in order of
 // decreasing conservativeness" ordering for every queue state.
+//
+//asd:hotpath
 func (p Policy) Allows(st QueueState) bool {
 	if st.LPQLen == 0 || p < PolicyIdleSystem {
 		return false
@@ -144,6 +146,8 @@ func NewAdaptiveScheduler(cfg SchedulerConfig) *AdaptiveScheduler {
 }
 
 // Policy returns the active policy.
+//
+//asd:hotpath
 func (s *AdaptiveScheduler) Policy() Policy { return s.policy }
 
 // SetObserver attaches a probe bus (nil detaches).
@@ -151,6 +155,8 @@ func (s *AdaptiveScheduler) SetObserver(b *obs.Bus) { s.bus = b }
 
 // OnConflict records that a regular command in the Reorder Queues could
 // not proceed because it conflicted with a previously issued prefetch.
+//
+//asd:hotpath
 func (s *AdaptiveScheduler) OnConflict() {
 	s.conflict++
 	s.TotalConflicts++
@@ -158,6 +164,8 @@ func (s *AdaptiveScheduler) OnConflict() {
 
 // OnRead advances the epoch clock by one Read command (observed at CPU
 // cycle now); at each epoch boundary the policy is re-evaluated.
+//
+//asd:hotpath
 func (s *AdaptiveScheduler) OnRead(now uint64) {
 	s.reads++
 	if s.reads < s.cfg.EpochReads {

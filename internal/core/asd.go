@@ -101,6 +101,8 @@ func (e *Engine) SetObserver(b *obs.Bus) { e.bus = b }
 // tables: each direction's lht(1) then correctly counts "reads that did
 // not continue in this direction", keeping inequality (5) conservative on
 // stream-free traffic in both directions.
+//
+//asd:hotpath
 func (e *Engine) onStreamEnd(length int, dir mem.Direction) {
 	if length == 1 {
 		e.up.StreamEnded(1)
@@ -120,6 +122,8 @@ func (e *Engine) onStreamEnd(length int, dir mem.Direction) {
 // of a stream; inequality (5)/(6) against the direction's LHTcurr decides
 // whether and how far to prefetch. The returned slice aliases a scratch
 // buffer owned by the engine and is valid only until the next call.
+//
+//asd:hotpath
 func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	o := e.filter.Observe(line, now)
 	e.readsInEpoch++
@@ -161,10 +165,14 @@ func appendRun(out []mem.Line, line mem.Line, dir, degree int) []mem.Line {
 }
 
 // Tick lets the engine retire expired streams on quiet channels.
+//
+//asd:hotpath
 func (e *Engine) Tick(now uint64) { e.filter.Tick(now) }
 
 // rollEpoch flushes the filter (folding live streams into LHTnext) and
 // rolls both directions' tables.
+//
+//asd:allow hotpath-noalloc epoch roll runs once per EpochLen stream-ends, off the per-cycle path, and snapshots the SLH
 func (e *Engine) rollEpoch(now uint64) {
 	e.filter.FlushEpoch()
 	e.up.EpochEnd()

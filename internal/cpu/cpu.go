@@ -71,6 +71,8 @@ func NewThread(id int, src trace.Source, cfg Config) *Thread {
 
 // Finished reports whether the thread has retired its budget (or ran out
 // of trace).
+//
+//asd:hotpath
 func (t *Thread) Finished() bool { return t.finished }
 
 // SetObserver attaches a probe bus (nil detaches).
@@ -102,10 +104,14 @@ func (t *Thread) NextRecord() (trace.Record, bool) {
 
 // ChargeHit adds a cache-hit latency to the thread clock (loads only; the
 // store buffer hides store hit latency).
+//
+//asd:hotpath
 func (t *Thread) ChargeHit(lat uint64) { t.Now += lat }
 
 // AddPending registers an outstanding memory request for line and
 // returns its handle.
+//
+//asd:hotpath
 func (t *Thread) AddPending(line mem.Line, isLoad bool) uint64 {
 	t.nextID++
 	t.pend = append(t.pend, Pending{ID: t.nextID, Line: line, InstrIdx: t.Instructions, IsLoad: isLoad})
@@ -113,6 +119,8 @@ func (t *Thread) AddPending(line mem.Line, isLoad bool) uint64 {
 }
 
 // Complete resolves the outstanding request with the given handle.
+//
+//asd:hotpath
 func (t *Thread) Complete(id uint64) {
 	for i := range t.pend {
 		if t.pend[i].ID == id {
@@ -126,6 +134,8 @@ func (t *Thread) Complete(id uint64) {
 // executing another instruction, or nil if it can proceed: the oldest
 // request when all outstanding slots are full, or the oldest load that
 // has fallen out of the run-ahead window.
+//
+//asd:hotpath
 func (t *Thread) BlockedOn() *Pending {
 	if len(t.pend) == 0 {
 		return nil
@@ -157,6 +167,8 @@ func (t *Thread) Resume(at uint64) {
 
 // DrainTo advances a finished thread's notion of completion: the thread's
 // execution time includes waiting for its last loads.
+//
+//asd:hotpath
 func (t *Thread) DrainTo(at uint64) {
 	if at > t.Now {
 		t.Now = at

@@ -184,6 +184,8 @@ type Decoded struct {
 // first, then banks, then rows — the standard open-page mapping that
 // gives streams row-buffer hits and spreads independent streams over
 // banks.
+//
+//asd:hotpath
 func (d *DRAM) Decode(l mem.Line) Decoded {
 	col := uint64(l) / d.linesPerRow
 	return Decoded{Bank: int(col % d.totalBanks), Row: col / d.totalBanks}
@@ -230,6 +232,8 @@ func (d *DRAM) BankBusy(l mem.Line, now uint64) (busy, byPrefetch bool) {
 }
 
 // BankBusyD is BankBusy for a pre-decoded line.
+//
+//asd:hotpath
 func (d *DRAM) BankBusyD(dec Decoded, now uint64) (busy, byPrefetch bool) {
 	bk := &d.banks[dec.Bank]
 	if bk.busyUntil > now {
@@ -245,6 +249,8 @@ func (d *DRAM) CanIssue(l mem.Line, now uint64) bool {
 }
 
 // CanIssueD is CanIssue for a pre-decoded line.
+//
+//asd:hotpath
 func (d *DRAM) CanIssueD(dec Decoded, now uint64) bool {
 	bk := &d.banks[dec.Bank]
 	d.applyRefresh(dec.Bank, bk, now)
@@ -255,6 +261,8 @@ func (d *DRAM) CanIssueD(dec Decoded, now uint64) bool {
 // pre-decoded line's bank could accept a command; a pending refresh may
 // push the true ready time later, so callers must still confirm with
 // CanIssueD at that cycle. It does not mutate bank state.
+//
+//asd:hotpath
 func (d *DRAM) ReadyAtD(dec Decoded) uint64 { return d.banks[dec.Bank].readyAt }
 
 // WouldRowHit reports whether line would hit its bank's open row (the
@@ -264,6 +272,8 @@ func (d *DRAM) WouldRowHit(l mem.Line) bool {
 }
 
 // WouldRowHitD is WouldRowHit for a pre-decoded line.
+//
+//asd:hotpath
 func (d *DRAM) WouldRowHitD(dec Decoded) bool {
 	bk := &d.banks[dec.Bank]
 	return bk.rowOpen && bk.row == dec.Row
@@ -280,6 +290,8 @@ func (d *DRAM) Issue(l mem.Line, isWrite, isPrefetch bool, now uint64) uint64 {
 
 // IssueD is Issue for a pre-decoded line (l is still needed for probe
 // events).
+//
+//asd:hotpath
 func (d *DRAM) IssueD(l mem.Line, dec Decoded, isWrite, isPrefetch bool, now uint64) uint64 {
 	if !d.sawFirst {
 		d.firstCycle = now
@@ -366,6 +378,8 @@ func (d *DRAM) IssueD(l mem.Line, dec Decoded, isWrite, isPrefetch bool, now uin
 
 // ObserveCycle extends the energy-integration window to cycle (used so
 // idle tail time still accrues background power).
+//
+//asd:hotpath
 func (d *DRAM) ObserveCycle(cycle uint64) {
 	if !d.sawFirst {
 		d.firstCycle = cycle

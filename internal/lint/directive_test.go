@@ -1,0 +1,129 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"asdsim/internal/lint"
+)
+
+// checkSource type-checks one import-free source string and runs Check
+// over it with the given analyzers.
+func checkSource(t *testing.T, src string, analyzers ...*lint.Analyzer) *lint.Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &lint.Package{Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	return lint.Check(pkg, &lint.Config{IgnoreScope: true}, analyzers...)
+}
+
+// messages flattens diagnostics of one pass for substring assertions.
+func messages(res *lint.Result, pass string) []string {
+	var out []string
+	for _, d := range res.Diags {
+		if d.Pass == pass {
+			out = append(out, d.Message)
+		}
+	}
+	return out
+}
+
+func TestAllowWithoutReasonIsMalformed(t *testing.T) {
+	res := checkSource(t, `package p
+
+//asd:allow determinism
+func f() int { return 1 }
+`)
+	got := messages(res, "directive")
+	if len(got) != 1 || !strings.Contains(got[0], "malformed //asd:allow") {
+		t.Fatalf("want one malformed-allow diagnostic, got %q", got)
+	}
+}
+
+func TestAllowUnknownPassIsFlagged(t *testing.T) {
+	res := checkSource(t, `package p
+
+//asd:allow nosuchpass the reason does not save it
+func f() int { return 1 }
+`)
+	got := messages(res, "directive")
+	if len(got) != 1 || !strings.Contains(got[0], `unknown pass "nosuchpass"`) {
+		t.Fatalf("want one unknown-pass diagnostic, got %q", got)
+	}
+}
+
+func TestReasonlessAllowDoesNotSuppress(t *testing.T) {
+	// The tag is malformed AND the finding it tried to silence
+	// survives: both diagnostics must be present.
+	res := checkSource(t, `package p
+
+type s struct{ m map[int]int }
+
+//asd:hotpath
+func (x *s) Step(v int) {
+	x.m[v] = v //asd:allow hotpath-noalloc
+}
+`, lint.NoallocAnalyzer)
+	if got := messages(res, "directive"); len(got) != 1 {
+		t.Fatalf("want one malformed-allow diagnostic, got %q", got)
+	}
+	if got := messages(res, "hotpath-noalloc"); len(got) != 1 || !strings.Contains(got[0], "map write") {
+		t.Fatalf("want the map-write finding to survive a reasonless allow, got %q", got)
+	}
+}
+
+func TestReasonedAllowSuppresses(t *testing.T) {
+	res := checkSource(t, `package p
+
+type s struct{ m map[int]int }
+
+//asd:hotpath
+func (x *s) Step(v int) {
+	x.m[v] = v //asd:allow hotpath-noalloc bounded table, buckets reused in steady state
+}
+`, lint.NoallocAnalyzer)
+	if len(res.Diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", res.Diags)
+	}
+}
+
+func TestFactsExportCertifiesClosureAndTrusted(t *testing.T) {
+	res := checkSource(t, `package p
+
+//asd:hotpath
+func Root() { helper() }
+
+func helper() {}
+
+//asd:allow hotpath-noalloc vetted boundary, grows off the per-cycle path
+func Boundary() {}
+
+func Cold() {}
+`)
+	for _, name := range []string{"p.Root", "p.helper", "p.Boundary"} {
+		if !res.Facts.Hotpath[name] {
+			t.Errorf("facts missing %s: %v", name, res.Facts.Hotpath)
+		}
+	}
+	if res.Facts.Hotpath["p.Cold"] {
+		t.Errorf("cold function must not be certified: %v", res.Facts.Hotpath)
+	}
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveAnalyzer keeps every probe-event kind wired through the
+// whole telemetry chain. A switch tagged //asd:exhaustive over a
+// kind-enumeration type must name every declared constant of that
+// type (an explicit no-op case documents "seen and intentionally
+// ignored"); a tagged `var` whose type is an array sized by the
+// enumeration's sentinel must populate every element. On top of the
+// directive checks, RequiredSites pins the directive itself in place:
+// the Sampler, the Chrome-trace exporter, the flight recorder and
+// Kind.String's name table must each contain a tagged site, so
+// deleting either a case or the tag fails the vet gate.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive-events",
+	Doc: `require //asd:exhaustive switches and arrays to cover every constant
+of their kind-enumeration type, and require the tagged sites to exist in the
+Sampler, trace exporter, flight recorder and String name table`,
+	Run: runExhaustive,
+}
+
+// ExhaustiveRequiredSites lists, per package, declarations that must
+// contain at least one //asd:exhaustive directive. Methods are named
+// "Type.Method" (receiver stars dropped), functions by name, and
+// package-level vars "var name".
+var ExhaustiveRequiredSites = map[string][]string{
+	"asdsim/internal/obs": {
+		"Sampler.Emit",      // time-series sampler
+		"TraceBuilder.Emit", // Chrome-trace exporter
+		"var kindNames",     // Kind.String name table
+	},
+	"asdsim/internal/obs/flightrec": {
+		"Recorder.Emit", // flight-recorder detector dispatch
+	},
+}
+
+// sentinelPrefixes name the enumeration-count sentinels ("numKinds")
+// excluded from coverage requirements.
+var sentinelPrefixes = []string{"num", "max", "sentinel"}
+
+func runExhaustive(pass *Pass) {
+	pkg := pass.Pkg
+	tagged := map[ast.Node]bool{}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if pkg.hasExhaustiveTag(n.Pos()) {
+					tagged[n] = true
+					checkExhaustiveSwitch(pass, n)
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if pkg.hasExhaustiveTag(n.Pos()) || pkg.hasExhaustiveTag(vs.Pos()) {
+						tagged[vs] = true
+						checkExhaustiveArray(pass, vs)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	checkRequiredSites(pass, tagged)
+}
+
+// hasExhaustiveTag reports whether an //asd:exhaustive directive sits
+// on the position's line or the line above it.
+func (pkg *Package) hasExhaustiveTag(pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	posn := pkg.Fset.Position(pos)
+	for _, d := range pkg.at(posn.Filename, posn.Line) {
+		if d.kind == dirExhaustive {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExhaustiveSwitch verifies the tagged switch covers every
+// constant of the switched enumeration type.
+func checkExhaustiveSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	pkg := pass.Pkg
+	if sw.Tag == nil {
+		pass.Report(sw.Pos(), "//asd:exhaustive switch has no tag expression")
+		return
+	}
+	t := pkg.Info.TypeOf(sw.Tag)
+	named := namedEnumType(t)
+	if named == nil {
+		pass.Report(sw.Pos(), "//asd:exhaustive switch tag %s is not a defined integer enumeration type", types.TypeString(t, nil))
+		return
+	}
+	want := enumConstants(pkg, named)
+	if len(want) == 0 {
+		pass.Report(sw.Pos(), "//asd:exhaustive switch over %s: no constants of that type are visible", named.Obj().Name())
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := constObjOf(pkg, e); obj != nil {
+				covered[obj.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range want {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Report(sw.Pos(), "//asd:exhaustive switch over %s misses: %s (add explicit no-op cases for intentionally ignored kinds)",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// checkExhaustiveArray verifies a tagged var like
+//
+//	var kindNames = [numKinds]string{...}
+//
+// populates every element: the array length must resolve to a
+// constant of the enumeration type (the sentinel) and the literal
+// must provide that many non-zero elements.
+func checkExhaustiveArray(pass *Pass, vs *ast.ValueSpec) {
+	pkg := pass.Pkg
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		pass.Report(vs.Pos(), "//asd:exhaustive var must be a single name with a single array literal value")
+		return
+	}
+	lit, ok := ast.Unparen(vs.Values[0]).(*ast.CompositeLit)
+	if !ok {
+		pass.Report(vs.Pos(), "//asd:exhaustive var %s: value is not a composite literal", vs.Names[0].Name)
+		return
+	}
+	t := pkg.Info.TypeOf(lit)
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		pass.Report(vs.Pos(), "//asd:exhaustive var %s: type %s is not an array", vs.Names[0].Name, t)
+		return
+	}
+	n := arr.Len()
+	if int64(len(lit.Elts)) != n {
+		pass.Report(vs.Pos(), "//asd:exhaustive var %s: %d of %d elements populated; every enumeration value needs an entry",
+			vs.Names[0].Name, len(lit.Elts), n)
+		return
+	}
+	for i, e := range lit.Elts {
+		if isZeroLiteral(e) {
+			pass.Report(e.Pos(), "//asd:exhaustive var %s: element %d is empty", vs.Names[0].Name, i)
+		}
+	}
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	if kv, ok := e.(*ast.KeyValueExpr); ok {
+		e = kv.Value
+	}
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return lit.Value == `""` || lit.Value == "``" || lit.Value == "0"
+	}
+	return false
+}
+
+// checkRequiredSites enforces that each declaration named in
+// ExhaustiveRequiredSites for this package contains a tagged node.
+func checkRequiredSites(pass *Pass, tagged map[ast.Node]bool) {
+	pkg := pass.Pkg
+	path := CanonicalPkgPath(pkg.Types.Path())
+	sites := ExhaustiveRequiredSites[path]
+	if len(sites) == 0 {
+		return
+	}
+	for _, site := range sites {
+		if !siteHasTag(pkg, site, tagged) {
+			pass.Report(pkg.Files[0].Pos(), "required //asd:exhaustive site %q has no tagged switch/array (the telemetry chain must handle every event kind)", site)
+		}
+	}
+}
+
+// siteHasTag locates the named declaration and reports whether a
+// tagged node lies within it.
+func siteHasTag(pkg *Package, site string, tagged map[ast.Node]bool) bool {
+	if name, ok := strings.CutPrefix(site, "var "); ok {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.Name == name && tagged[vs] {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+	typeName, funcName := "", site
+	if i := strings.LastIndex(site, "."); i >= 0 {
+		typeName, funcName = site[:i], site[i+1:]
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != funcName || fn.Body == nil {
+				continue
+			}
+			if typeName != "" && recvTypeName(pkg, fn) != typeName {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if tagged[n] {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the bare receiver type name of a method
+// ("Sampler" for func (s *Sampler) ...), or "".
+func recvTypeName(pkg *Package, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// namedEnumType returns t as a defined type with integer underlying
+// kind, or nil.
+func namedEnumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// enumConstants collects the package-level constants of exactly type
+// named, visible from pkg, excluding count sentinels. For the type's
+// own package that is every declared constant; across packages only
+// exported ones are visible (sentinels are conventionally unexported,
+// so the sets agree).
+func enumConstants(pkg *Package, named *types.Named) []*types.Const {
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil {
+		return nil
+	}
+	scope := declPkg.Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if declPkg != pkg.Types && !c.Exported() {
+			continue
+		}
+		if isSentinelName(c.Name()) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}
+
+func isSentinelName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range sentinelPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// constObjOf resolves a case expression to the constant object it
+// names (possibly package-qualified).
+func constObjOf(pkg *Package, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := pkg.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pkg.Info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"asdsim/internal/lint"
+	"asdsim/internal/lint/linttest"
+)
+
+// Each fixture tree holds positive cases (constructs the pass must
+// flag, pinned by `// want` comments) and negative cases (idioms and
+// //asd:allow escapes that must stay silent).
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, "testdata/determinism", lint.DeterminismAnalyzer)
+}
+
+func TestNoallocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/noalloc", lint.NoallocAnalyzer)
+}
+
+func TestNoperturbFixture(t *testing.T) {
+	linttest.Run(t, "testdata/noperturb", lint.NoperturbAnalyzer)
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/exhaustive", lint.ExhaustiveAnalyzer)
+}
+
+func TestMetricLintFixture(t *testing.T) {
+	linttest.Run(t, "testdata/metriclint", lint.MetricLintAnalyzer)
+}

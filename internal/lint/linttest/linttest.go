@@ -1,0 +1,277 @@
+// Package linttest runs the asdlint analyzers outside the go vet
+// driver: over fixture trees with analysistest-style `// want` comment
+// expectations, and over the real repository source for the zero-
+// findings regression tests.
+//
+// A fixture tree lives under testdata/<pass>/src/: each subdirectory
+// is one package whose import path is its directory name, so fixture
+// packages can import one another ("hot" importing "dep") and facts
+// flow between them exactly as they do through vet's .vetx files.
+// Standard-library imports are type-checked from GOROOT source, so the
+// loader needs no export data and works offline.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"asdsim/internal/lint"
+)
+
+// Loader loads packages from source directories, type-checks them (in
+// import order, recursively), runs the configured analyzers on each,
+// and accumulates diagnostics and cross-package facts.
+type Loader struct {
+	// Fset positions every loaded file.
+	Fset *token.FileSet
+	// Dirs maps an import path to the directory holding its sources.
+	// Paths not in Dirs resolve through the GOROOT source importer.
+	Dirs map[string]string
+	// IgnoreScope runs every analyzer regardless of its Scope (fixture
+	// packages do not live under real import paths).
+	IgnoreScope bool
+	// Analyzers are the passes to run on each loaded package.
+	Analyzers []*lint.Analyzer
+	// Transform, when set, rewrites file contents before parsing; the
+	// mutation regression tests use it to break real source on the fly.
+	Transform func(filename string, src []byte) []byte
+
+	std     types.Importer
+	tpkgs   map[string]*types.Package
+	pkgs    map[string]*lint.Package
+	facts   map[string]*lint.Facts
+	diags   []lint.Diagnostic
+	loading map[string]bool
+}
+
+// NewLoader returns a loader running the given analyzers.
+func NewLoader(analyzers ...*lint.Analyzer) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:      fset,
+		Dirs:      map[string]string{},
+		Analyzers: analyzers,
+		std:       importer.ForCompiler(fset, "source", nil),
+		tpkgs:     map[string]*types.Package{},
+		pkgs:      map[string]*lint.Package{},
+		facts:     map[string]*lint.Facts{},
+		loading:   map[string]bool{},
+	}
+}
+
+// Import implements types.Importer: local directories first, then the
+// standard library from source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.tpkgs[path]; ok {
+		return p, nil
+	}
+	if _, ok := l.Dirs[path]; ok {
+		return l.load(path)
+	}
+	return l.std.Import(path)
+}
+
+// Load loads, type-checks and lints the package at the given import
+// path (which must be in Dirs), along with everything it imports.
+func (l *Loader) Load(path string) (*lint.Package, error) {
+	if _, err := l.Import(path); err != nil {
+		return nil, err
+	}
+	return l.pkgs[path], nil
+}
+
+// Diags returns every diagnostic reported so far, in load order.
+func (l *Loader) Diags() []lint.Diagnostic { return l.diags }
+
+// Facts returns the facts exported by a loaded package (nil if the
+// path has not been loaded).
+func (l *Loader) Facts(path string) *lint.Facts { return l.facts[path] }
+
+// Packages returns the loaded lint packages keyed by import path.
+func (l *Loader) Packages() map[string]*lint.Package { return l.pkgs }
+
+func (l *Loader) load(path string) (*types.Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("linttest: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.Dirs[path]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if l.Transform != nil {
+			src = l.Transform(n, src)
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: type-checking %s: %w", path, err)
+	}
+
+	lp := &lint.Package{Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	cfg := &lint.Config{
+		IgnoreScope: l.IgnoreScope,
+		DepFacts:    func(p string) *lint.Facts { return l.facts[p] },
+	}
+	res := lint.Check(lp, cfg, l.Analyzers...)
+	l.facts[path] = res.Facts
+	l.diags = append(l.diags, res.Diags...)
+	l.tpkgs[path] = tpkg
+	l.pkgs[path] = lp
+	return tpkg, nil
+}
+
+// expectation is one parsed `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArgRe extracts the backquoted or double-quoted regexes of a want
+// comment.
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectations parses the `// want` comments of every loaded file.
+func (l *Loader) expectations() ([]*expectation, error) {
+	var out []*expectation
+	for _, lp := range l.pkgs {
+		for _, f := range lp.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					posn := l.Fset.Position(c.Pos())
+					ms := wantArgRe.FindAllStringSubmatch(rest, -1)
+					if len(ms) == 0 {
+						return nil, fmt.Errorf("%s: want comment with no `regex` or \"regex\" argument", posn)
+					}
+					for _, m := range ms {
+						pat := m[1]
+						if m[2] != "" || m[1] == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %q: %v", posn, pat, err)
+						}
+						out = append(out, &expectation{
+							file: posn.Filename, line: posn.Line, pattern: pat, re: re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Run loads every fixture package under dir/src, runs the analyzers
+// with Scope ignored, and matches the resulting diagnostics against
+// the fixtures' `// want "regex"` comments: each want must be matched
+// by exactly one diagnostic on its line, and every diagnostic must be
+// claimed by a want.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "src")
+	entries, err := os.ReadDir(srcRoot)
+	if err != nil {
+		t.Fatalf("reading fixture root: %v", err)
+	}
+	l := NewLoader(analyzers...)
+	l.IgnoreScope = true
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			l.Dirs[e.Name()] = filepath.Join(srcRoot, e.Name())
+			paths = append(paths, e.Name())
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatalf("no fixture packages under %s", srcRoot)
+	}
+	for _, p := range paths {
+		if _, err := l.Load(p); err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+	}
+
+	exps, err := l.expectations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range l.Diags() {
+		posn := l.Fset.Position(d.Pos)
+		matched := false
+		for _, e := range exps {
+			if e.matched || e.file != posn.Filename || e.line != posn.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", posn, d.Pass, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.pattern)
+		}
+	}
+}

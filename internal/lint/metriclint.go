@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"asdsim/internal/metrics"
+)
+
+// MetricLintAnalyzer validates literal metric and label names at
+// build time against the same 0.0.4 exposition grammar that
+// metrics.Lint enforces on rendered payloads. A name that only fails
+// when the farm's /metrics endpoint is scraped in production fails
+// here at `go vet` instead. Checked call sites are the Registry
+// constructors (Counter, Gauge, Histogram): the first argument must
+// be a grammatical metric name, the help string non-empty, and every
+// literal label a grammatical label name (with "le" reserved for
+// histogram buckets). Non-literal arguments are outside static reach
+// and are still covered by the runtime Lint in tests.
+var MetricLintAnalyzer = &Analyzer{
+	Name: "metriclint",
+	Doc: `validate literal metric names, help strings and label names passed
+to metrics.Registry constructors against the exposition grammar`,
+	Run: runMetricLint,
+}
+
+// metricCtors maps Registry constructor names to the index of their
+// first label argument (variadic tail).
+var metricCtors = map[string]int{
+	"Counter":   2, // (name, help, labels...)
+	"Gauge":     2,
+	"Histogram": 3, // (name, help, bounds, labels...)
+}
+
+func runMetricLint(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pkg.StaticCallee(call)
+			if callee == nil {
+				return true
+			}
+			labelStart, ok := metricCtors[callee.Name()]
+			if !ok || !isMetricsRegistryMethod(callee) {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true // type error; not ours to report
+			}
+			if name, lit := stringLiteral(call.Args[0]); lit {
+				if !metrics.ValidMetricName(name) {
+					pass.Report(call.Args[0].Pos(), "metric name %q violates the exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*", name)
+				}
+			}
+			if help, lit := stringLiteral(call.Args[1]); lit && help == "" {
+				pass.Report(call.Args[1].Pos(), "metric %s declared with an empty help string", describeArg(call.Args[0]))
+			}
+			if call.Ellipsis.IsValid() {
+				return true // labels splatted from a slice: runtime Lint's job
+			}
+			for i := labelStart; i < len(call.Args); i++ {
+				if label, lit := stringLiteral(call.Args[i]); lit {
+					if !metrics.ValidLabelName(label) {
+						pass.Report(call.Args[i].Pos(), "label name %q violates the exposition grammar [a-zA-Z_][a-zA-Z0-9_]* (\"le\" is reserved)", label)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMetricsRegistryMethod reports whether fn is a method on a
+// Registry type declared in a package named "metrics" (the real
+// asdsim/internal/metrics, or a fixture stand-in).
+func isMetricsRegistryMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Name() != "metrics" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeName(sig.Recv().Type()) == fn.Pkg().Path()+".Registry"
+}
+
+// stringLiteral unquotes e when it is a plain string literal, or a
+// constant string expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		s, err := strconv.Unquote(lit.Value)
+		if err == nil {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// describeArg renders the name argument for help-string diagnostics.
+func describeArg(e ast.Expr) string {
+	if s, ok := stringLiteral(e); ok {
+		return strconv.Quote(s)
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocAnalyzer enforces the allocation-free steady state the PR-3
+// kernel rework established and TestSteadyStateStepDoesNotAllocate
+// guards dynamically. Functions annotated //asd:hotpath — plus
+// everything they reach through same-package static calls — may not
+// use allocation-prone constructs: make/new, escaping composite
+// literals, closures, string building, boxing into interfaces,
+// appends that do not recycle their own backing array, or map writes.
+// Calls that leave the package must land on a hot-path-certified
+// function (a fact exported by the callee's own package when it was
+// checked), on a trusted package or function, or on a trusted
+// interface whose implementations are certified in their packages.
+var NoallocAnalyzer = &Analyzer{
+	Name: "hotpath-noalloc",
+	Doc: `forbid allocation-prone constructs in //asd:hotpath functions and
+their same-package transitive callees`,
+	// The simulation kernel only: telemetry sinks (obs, flightrec, farm)
+	// are policed by noperturb instead — PR 3's zero-alloc guarantee is
+	// stated for runs with the probe bus detached, and e.g. the
+	// Chrome-trace builder allocates by design.
+	Scope: PathScope(
+		"asdsim/internal/sim",
+		"asdsim/internal/mc",
+		"asdsim/internal/dram",
+		"asdsim/internal/cache",
+		"asdsim/internal/core",
+		"asdsim/internal/slh",
+		"asdsim/internal/stream",
+		"asdsim/internal/prefetch",
+		"asdsim/internal/cpu",
+		"asdsim/internal/stats",
+	),
+	Run: runNoalloc,
+}
+
+// noallocTrustedPkgs are packages whose functions are allocation-free
+// by construction and callable from hot code without certification:
+// pure arithmetic (math, math/bits), lock-free primitives
+// (sync/atomic), and the simulator's address algebra (internal/mem).
+var noallocTrustedPkgs = map[string]bool{
+	"math":                true,
+	"math/bits":           true,
+	"sync/atomic":         true,
+	"asdsim/internal/mem": true,
+}
+
+// noallocTrustedFuncs are individually vetted allocation-free
+// functions in otherwise untrusted packages, keyed by FullName.
+var noallocTrustedFuncs = map[string]bool{
+	"sort.Search": true,
+}
+
+// noallocTrustedIfaces are interface types whose dynamic dispatch is
+// part of the simulator's architecture (prefetch engines, probe
+// sinks, arbiters). Their in-repo implementations must themselves be
+// hot-path-certified; TestRealTreeTrustedInterfaceImpls enforces that
+// closure-side contract.
+var noallocTrustedIfaces = map[string]bool{
+	"asdsim/internal/prefetch.MSEngine": true,
+	"asdsim/internal/obs.Sink":          true,
+	"asdsim/internal/mc.arbiter":        true,
+}
+
+// noallocAllowedBuiltins are builtins that never heap-allocate (or,
+// for panic, only on a terminal path).
+var noallocAllowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"min": true, "max": true, "panic": true, "real": true, "imag": true,
+}
+
+func runNoalloc(pass *Pass) {
+	hot := pass.Pkg.hotpath(pass.Config)
+	for fn, why := range hot.closure {
+		checkNoallocFunc(pass, fn, why, hot)
+	}
+}
+
+func checkNoallocFunc(pass *Pass, fn *ast.FuncDecl, why string, hot *hotState) {
+	pkg := pass.Pkg
+	if _, trusted := pkg.funcTrustReason(fn, pass.Analyzer.Name); trusted {
+		return
+	}
+	hotLabel := fn.Name.Name + " (hot: " + why + ")"
+
+	// selfAppends maps append CallExprs that recycle their own backing
+	// array (x = append(x, ...) / x = append(x[:0], ...)).
+	selfAppends := map[*ast.CallExpr]bool{}
+	markSelfAppends(pkg, fn.Body, selfAppends)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "%s: closure literal may allocate its captures", hotLabel)
+			return false // contents belong to the closure, already flagged
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Report(n.Pos(), "%s: slice literal allocates; use a pooled scratch slice", hotLabel)
+			case *types.Map:
+				pass.Report(n.Pos(), "%s: map literal allocates", hotLabel)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(n.Pos(), "%s: &composite literal escapes to the heap; use a freelist pool", hotLabel)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pkg.Info.TypeOf(n)) {
+				pass.Report(n.Pos(), "%s: string concatenation allocates", hotLabel)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pkg.Info.TypeOf(n.Lhs[0])) {
+				pass.Report(n.Pos(), "%s: string += allocates", hotLabel)
+			}
+			for _, lhs := range n.Lhs {
+				checkMapWrite(pass, hotLabel, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkMapWrite(pass, hotLabel, n.X)
+		case *ast.CallExpr:
+			checkNoallocCall(pass, hotLabel, n, selfAppends, hot)
+		}
+		return true
+	})
+}
+
+func checkMapWrite(pass *Pass, hotLabel string, lhs ast.Expr) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if t := pass.Pkg.Info.TypeOf(idx.X); t != nil {
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Report(lhs.Pos(), "%s: map write may allocate (bucket growth); use dense indices or a pooled structure", hotLabel)
+		}
+	}
+}
+
+func checkNoallocCall(pass *Pass, hotLabel string, call *ast.CallExpr, selfAppends map[*ast.CallExpr]bool, hot *hotState) {
+	pkg := pass.Pkg
+	kind, callee, iface, builtin := pkg.ClassifyCall(call)
+	switch kind {
+	case CalleeConversion:
+		checkConversion(pass, hotLabel, call)
+		return
+	case CalleeBuiltin:
+		switch builtin {
+		case "make":
+			pass.Report(call.Pos(), "%s: make allocates; preallocate at construction and reuse", hotLabel)
+		case "new":
+			pass.Report(call.Pos(), "%s: new allocates; use a freelist pool", hotLabel)
+		case "append":
+			if !selfAppends[call] {
+				pass.Report(call.Pos(), "%s: append into a fresh slice may allocate; reuse a pooled scratch slice (x = append(x[:0], ...))", hotLabel)
+			}
+		case "print", "println":
+			pass.Report(call.Pos(), "%s: %s is for debugging only and may allocate", hotLabel, builtin)
+		default:
+			if !noallocAllowedBuiltins[builtin] {
+				pass.Report(call.Pos(), "%s: builtin %s is not allocation-vetted for the hot path", hotLabel, builtin)
+			}
+		}
+		checkBoxing(pass, hotLabel, call)
+		return
+	case CalleeInterface:
+		if !noallocTrustedIfaces[iface] {
+			pass.Report(call.Pos(), "%s: dynamic call through interface %s cannot be allocation-checked; add the interface to the trusted list or devirtualize", hotLabel, iface)
+		}
+		checkBoxing(pass, hotLabel, call)
+		return
+	case CalleeFuncValue:
+		pass.Report(call.Pos(), "%s: call through func value cannot be allocation-checked statically", hotLabel)
+		checkBoxing(pass, hotLabel, call)
+		return
+	}
+
+	// Static call.
+	checkBoxing(pass, hotLabel, call)
+	if callee.Pkg() == nil {
+		return // error.Error and other universe members
+	}
+	if callee.Pkg() == pkg.Types {
+		return // same package: the closure walks into it
+	}
+	path := callee.Pkg().Path()
+	if path == "fmt" {
+		pass.Report(call.Pos(), "%s: fmt.%s allocates (formatting state and boxing)", hotLabel, callee.Name())
+		return
+	}
+	if noallocTrustedPkgs[path] || noallocTrustedFuncs[callee.FullName()] {
+		return
+	}
+	if facts := pass.depFacts(path); facts != nil && facts.Hotpath[callee.FullName()] {
+		return
+	}
+	pass.Report(call.Pos(), "%s: call to %s which is not hotpath-certified (annotate it //asd:hotpath in its package, or trust it explicitly)", hotLabel, callee.FullName())
+}
+
+// depFacts fetches an imported package's exported facts.
+func (p *Pass) depFacts(path string) *Facts {
+	if p.Config == nil || p.Config.DepFacts == nil {
+		return nil
+	}
+	return p.Config.DepFacts(path)
+}
+
+// checkConversion flags conversions that copy memory or box.
+func checkConversion(pass *Pass, hotLabel string, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	pkg := pass.Pkg
+	to := pkg.Info.TypeOf(call.Fun)
+	from := pkg.Info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	switch {
+	case isString(to) && (isByteSlice(from) || isRuneSlice(from)):
+		pass.Report(call.Pos(), "%s: []byte/[]rune -> string conversion copies and allocates", hotLabel)
+	case isString(from) && (isByteSlice(to) || isRuneSlice(to)):
+		pass.Report(call.Pos(), "%s: string -> slice conversion copies and allocates", hotLabel)
+	case types.IsInterface(to) && !types.IsInterface(from):
+		pass.Report(call.Pos(), "%s: conversion boxes %s into %s", hotLabel, from, to)
+	}
+}
+
+// checkBoxing flags arguments that implicitly convert a concrete value
+// to an interface parameter — the hidden allocation behind fmt-style
+// APIs.
+func checkBoxing(pass *Pass, hotLabel string, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	sigT := pkg.Info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if types.IsInterface(pt) && !types.IsInterface(at) && !isUntypedNil(at) {
+			pass.Report(arg.Pos(), "%s: argument boxes %s into %s", hotLabel, at, pt)
+		}
+	}
+}
+
+// markSelfAppends records append calls of the recycling forms
+// x = append(x, ...) and x = append(x[:0], ...) (also x[:n]), where
+// the destination expression is structurally identical to the append
+// base. Those reuse the backing array in steady state.
+func markSelfAppends(pkg *Package, body *ast.BlockStmt, out map[*ast.CallExpr]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if kind, _, _, builtin := pkg.ClassifyCall(call); kind != CalleeBuiltin || builtin != "append" {
+			return true
+		}
+		base := ast.Unparen(call.Args[0])
+		if slice, ok := base.(*ast.SliceExpr); ok {
+			base = ast.Unparen(slice.X)
+		}
+		if exprString(assign.Lhs[0]) == exprString(base) {
+			out[call] = true
+		}
+		return true
+	})
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isByteSlice(t types.Type) bool { return isSliceOfKind(t, types.Byte) }
+func isRuneSlice(t types.Type) bool { return isSliceOfKind(t, types.Rune) }
+
+func isSliceOfKind(t types.Type, kind types.BasicKind) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == kind ||
+		(kind == types.Byte && b.Kind() == types.Uint8) ||
+		(kind == types.Rune && b.Kind() == types.Int32))
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoperturbAnalyzer guards PR-4's instrument-does-not-perturb
+// invariant statically: telemetry code reachable from the hot path
+// (the probe bus, per-run flight-recorder sinks, the farm's per-run
+// instrumentation) may not take locks, touch channels, select, spawn
+// goroutines, or read the wall clock — any of which would let an
+// observer change scheduling or timing of the run it is watching.
+// Hot-path entry points on the probe bus must also keep their
+// nil-receiver fast path: the disabled state has to stay one branch.
+var NoperturbAnalyzer = &Analyzer{
+	Name: "noperturb",
+	Doc: `forbid locks, channel operations, selects, goroutines and wall-clock
+reads in telemetry code reachable from //asd:hotpath entry points; require
+nil-receiver guards on hot probe-bus methods`,
+	Scope: PathScope(
+		"asdsim/internal/obs",
+		"asdsim/internal/obs/flightrec",
+		"asdsim/internal/farm",
+	),
+	Run: runNoperturb,
+}
+
+// lockMethods are methods whose call means blocking synchronization.
+// Keyed by package path of the receiver's type, then method name.
+var lockMethods = map[string]map[string]bool{
+	"sync": {
+		"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+		"TryLock": true, "TryRLock": true, "RLocker": true,
+		"Wait": true, "Do": true, "Add": true, // WaitGroup/Once (Add gates peers)
+	},
+}
+
+// syncMapTypes flag sync.Map usage (amortized locking + boxing).
+var syncMapTypes = map[string]bool{"sync.Map": true}
+
+func runNoperturb(pass *Pass) {
+	pkg := pass.Pkg
+	hot := pkg.hotpath(pass.Config)
+	for fn, why := range hot.closure {
+		checkNoperturbFunc(pass, fn, why)
+	}
+	// Nil-receiver fast path: every //asd:hotpath pointer-receiver
+	// method on a probe-bus-like type must begin by bailing out on a
+	// nil receiver, so the disabled state costs one branch and cannot
+	// perturb anything.
+	for fn := range hot.roots {
+		checkNilGuard(pass, fn)
+	}
+}
+
+func checkNoperturbFunc(pass *Pass, fn *ast.FuncDecl, why string) {
+	pkg := pass.Pkg
+	if _, trusted := pkg.funcTrustReason(fn, pass.Analyzer.Name); trusted {
+		return
+	}
+	hotLabel := fn.Name.Name + " (hot: " + why + ")"
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Report(n.Pos(), "%s: goroutine spawn in telemetry reachable from the hot path", hotLabel)
+		case *ast.SendStmt:
+			pass.Report(n.Pos(), "%s: channel send can block the simulation goroutine", hotLabel)
+		case *ast.SelectStmt:
+			pass.Report(n.Pos(), "%s: select in telemetry reachable from the hot path", hotLabel)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Report(n.Pos(), "%s: channel receive can block the simulation goroutine", hotLabel)
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Report(n.Pos(), "%s: ranging over a channel blocks", hotLabel)
+				}
+			}
+		case *ast.CallExpr:
+			checkNoperturbCall(pass, hotLabel, n)
+		}
+		return true
+	})
+}
+
+func checkNoperturbCall(pass *Pass, hotLabel string, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	callee := pkg.StaticCallee(call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := typeName(sig.Recv().Type())
+		if syncMapTypes[recv] {
+			pass.Report(call.Pos(), "%s: sync.Map.%s locks and boxes; use a per-run private structure merged at end of run", hotLabel, callee.Name())
+			return
+		}
+		if callee.Pkg().Path() == "sync" {
+			if names := lockMethods["sync"]; names[callee.Name()] {
+				pass.Report(call.Pos(), "%s: %s.%s is blocking synchronization; telemetry on the hot path must be lock-free (private per-run state, merged after the run)", hotLabel, recv, callee.Name())
+			}
+			return
+		}
+	}
+	if callee.Pkg().Path() == "time" && wallClockFuncs[callee.Name()] && (sig == nil || sig.Recv() == nil) {
+		pass.Report(call.Pos(), "%s: time.%s in telemetry reachable from the hot path; timestamp with simulated cycles", hotLabel, callee.Name())
+	}
+}
+
+// checkNilGuard requires hot-path pointer-receiver methods whose
+// receiver type looks like a probe bus (it is the obs.Bus type or any
+// type whose methods are documented as nil-safe entry points via the
+// hotpath annotation on a pointer receiver in package obs) to start
+// with `if recv == nil { return }` or a `return recv != nil && ...`
+// fast path.
+func checkNilGuard(pass *Pass, fn *ast.FuncDecl) {
+	pkg := pass.Pkg
+	if CanonicalPkgPath(pkg.Types.Path()) != "asdsim/internal/obs" && !pass.Config.IgnoreScope {
+		return
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || !fn.Name.IsExported() {
+		return
+	}
+	// Only the bus itself carries the nil-is-disabled contract; sinks
+	// hang off a non-nil bus and never see the disabled state.
+	if recvTypeName(pkg, fn) != "Bus" {
+		return
+	}
+	recvT := pkg.Info.TypeOf(fn.Recv.List[0].Type)
+	if _, isPtr := recvT.(*types.Pointer); !isPtr {
+		return
+	}
+	if len(fn.Recv.List[0].Names) == 0 {
+		pass.Report(fn.Pos(), "hot-path method %s must nil-guard its receiver (receiver is unnamed)", fn.Name.Name)
+		return
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	if hasNilGuard(fn.Body, recvName) {
+		return
+	}
+	pass.Report(fn.Pos(), "hot-path method %s must begin with `if %s == nil { return }` so the disabled bus stays a single-branch fast path", fn.Name.Name, recvName)
+}
+
+// hasNilGuard recognizes the two accepted fast-path shapes.
+func hasNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		if cond, ok := first.Cond.(*ast.BinaryExpr); ok && cond.Op == token.EQL {
+			if isIdentNamed(cond.X, recv) && isNilIdent(cond.Y) && endsInReturn(first.Body) {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		if len(first.Results) == 1 {
+			if cond, ok := first.Results[0].(*ast.BinaryExpr); ok && cond.Op == token.LAND {
+				if neq, ok := cond.X.(*ast.BinaryExpr); ok && neq.Op == token.NEQ &&
+					isIdentNamed(neq.X, recv) && isNilIdent(neq.Y) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}

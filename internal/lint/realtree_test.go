@@ -1,0 +1,212 @@
+package lint_test
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+
+	"asdsim/internal/lint"
+	"asdsim/internal/lint/linttest"
+)
+
+// realPkgs is the simulator tree the suite is checked against here, in
+// a topological-friendly listing (the loader recurses through imports
+// regardless of order). The farm is exercised by the vet CI gate but
+// skipped in-process: its net/http dependency closure makes the
+// source-importer load disproportionately slow for a unit test.
+var realPkgs = []string{
+	"asdsim/internal/mem",
+	"asdsim/internal/stats",
+	"asdsim/internal/obs",
+	"asdsim/internal/obs/flightrec",
+	"asdsim/internal/trace",
+	"asdsim/internal/cache",
+	"asdsim/internal/slh",
+	"asdsim/internal/stream",
+	"asdsim/internal/prefetch",
+	"asdsim/internal/cpu",
+	"asdsim/internal/dram",
+	"asdsim/internal/core",
+	"asdsim/internal/mc",
+	"asdsim/internal/workload",
+	"asdsim/internal/sim",
+}
+
+// newRealLoader maps the real import paths onto the repository layout
+// (the test runs with the package directory as cwd: internal/lint).
+func newRealLoader(analyzers ...*lint.Analyzer) *linttest.Loader {
+	l := linttest.NewLoader(analyzers...)
+	for _, p := range realPkgs {
+		l.Dirs[p] = "../../" + strings.TrimPrefix(p, "asdsim/")
+	}
+	return l
+}
+
+// loadRealTree loads and checks the whole list, failing the test on
+// load errors.
+func loadRealTree(t *testing.T, l *linttest.Loader) {
+	t.Helper()
+	for _, p := range realPkgs {
+		if _, err := l.Load(p); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+}
+
+// TestRealTreeZeroFindings runs the full suite over the real simulator
+// source with real scopes: the tree must stay at zero findings, the
+// same bar the CI vet gate enforces.
+func TestRealTreeZeroFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree from source")
+	}
+	l := newRealLoader(lint.All()...)
+	loadRealTree(t, l)
+	for _, d := range l.Diags() {
+		t.Errorf("%s: [%s] %s", l.Fset.Position(d.Pos), d.Pass, d.Message)
+	}
+}
+
+// TestRealTreeTrustedInterfaceImpls closes the loop on the noalloc
+// pass's trusted-interface escape hatch: dynamic dispatch through
+// prefetch.MSEngine, obs.Sink and mc.arbiter is admitted on the hot
+// path, so every in-repo implementation of those interfaces must have
+// hot-path-certified methods. noalloc.go references this test by name.
+func TestRealTreeTrustedInterfaceImpls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree from source")
+	}
+	l := newRealLoader(lint.All()...)
+	loadRealTree(t, l)
+
+	trusted := []struct{ pkg, name string }{
+		{"asdsim/internal/prefetch", "MSEngine"},
+		{"asdsim/internal/obs", "Sink"},
+		{"asdsim/internal/mc", "arbiter"},
+	}
+	for _, tr := range trusted {
+		scope := l.Packages()[tr.pkg].Types.Scope()
+		obj := scope.Lookup(tr.name)
+		if obj == nil {
+			t.Fatalf("%s: interface %s not found", tr.pkg, tr.name)
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			t.Fatalf("%s.%s is not an interface", tr.pkg, tr.name)
+		}
+		impls := 0
+		for _, pkgPath := range realPkgs {
+			tp := l.Packages()[pkgPath].Types
+			for _, name := range tp.Scope().Names() {
+				tn, ok := tp.Scope().Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				T := tn.Type()
+				if types.IsInterface(T) {
+					continue
+				}
+				ptr := types.NewPointer(T)
+				var recv types.Type
+				switch {
+				case types.Implements(T, iface):
+					recv = T
+				case types.Implements(ptr, iface):
+					recv = ptr
+				default:
+					continue
+				}
+				impls++
+				for i := 0; i < iface.NumMethods(); i++ {
+					m := iface.Method(i)
+					mobj, _, _ := types.LookupFieldOrMethod(recv, true, tp, m.Name())
+					fn, ok := mobj.(*types.Func)
+					if !ok {
+						t.Errorf("%s.%s: method %s not found", pkgPath, name, m.Name())
+						continue
+					}
+					facts := l.Facts(fn.Pkg().Path())
+					if facts == nil || !facts.Hotpath[fn.FullName()] {
+						t.Errorf("%s implements trusted interface %s.%s but %s is not hotpath-certified; annotate it //asd:hotpath",
+							pkgPath+"."+name, tr.pkg, tr.name, fn.FullName())
+					}
+				}
+			}
+		}
+		if impls == 0 {
+			t.Errorf("%s.%s: no implementations found in the tree (test gone stale?)", tr.pkg, tr.name)
+		}
+	}
+}
+
+// TestDeletedExporterCaseFailsVet is the acceptance check for the
+// exhaustive-events pass: deleting a case from the Chrome-trace
+// exporter's event switch must produce a finding (and therefore fail
+// the `go vet -vettool=asdlint` CI gate).
+func TestDeletedExporterCaseFailsVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks obs from source")
+	}
+	mutated := false
+	l := newRealLoader(lint.ExhaustiveAnalyzer)
+	l.Transform = func(filename string, src []byte) []byte {
+		if filename != "chrometrace.go" {
+			return src
+		}
+		out := strings.Replace(string(src),
+			"case KindMCPBHit, KindMCBankConflict,",
+			"case KindMCBankConflict,", 1)
+		if out == string(src) {
+			t.Fatal("mutation did not apply; chrometrace.go's ignored-kinds case changed shape")
+		}
+		mutated = true
+		return []byte(out)
+	}
+	if _, err := l.Load("asdsim/internal/obs"); err != nil {
+		t.Fatalf("loading mutated obs: %v", err)
+	}
+	if !mutated {
+		t.Fatal("transform never ran")
+	}
+	found := false
+	for _, d := range l.Diags() {
+		if d.Pass == "exhaustive-events" && strings.Contains(d.Message, "misses: KindMCPBHit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deleting KindMCPBHit from the trace exporter switch produced no exhaustive-events finding; diags: %v", l.Diags())
+	}
+}
+
+// TestDeletedRequiredTagFailsVet pins the directive itself in place:
+// stripping the //asd:exhaustive tag from the exporter switch trips
+// the required-sites check instead.
+func TestDeletedRequiredTagFailsVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks obs from source")
+	}
+	l := newRealLoader(lint.ExhaustiveAnalyzer)
+	l.Transform = func(filename string, src []byte) []byte {
+		if filename != "chrometrace.go" {
+			return src
+		}
+		out := strings.Replace(string(src), "//asd:exhaustive", "// tag removed", 1)
+		if out == string(src) {
+			t.Fatal("mutation did not apply")
+		}
+		return []byte(out)
+	}
+	if _, err := l.Load("asdsim/internal/obs"); err != nil {
+		t.Fatalf("loading mutated obs: %v", err)
+	}
+	found := false
+	for _, d := range l.Diags() {
+		if d.Pass == "exhaustive-events" && strings.Contains(d.Message, `"TraceBuilder.Emit"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stripping the exporter's //asd:exhaustive tag produced no required-site finding; diags: %v", l.Diags())
+	}
+}

@@ -1,0 +1,73 @@
+// Package kernel is the determinism-pass fixture: wall-clock reads,
+// global math/rand, bare map iteration and goroutine spawns must be
+// flagged; seeded generators, the sorted-keys idiom and //asd:allow
+// escapes must not.
+package kernel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type table struct {
+	m map[string]int
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `rand\.Intn uses the global \(unseeded\) source`
+}
+
+func seededRand(r *rand.Rand) int {
+	return r.Intn(6) // ok: method on an explicitly seeded generator
+}
+
+func seededCtor() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // ok: seeded constructor
+}
+
+func (t *table) sum() int {
+	n := 0
+	for _, v := range t.m { // want `map iteration order`
+		n += v
+	}
+	return n
+}
+
+func (t *table) sortedKeys() []string {
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m { // ok: canonical collect-and-sort idiom
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func spawn(done chan struct{}) {
+	go close(done) // want `goroutine spawned in the simulation step path`
+}
+
+func (t *table) drain() {
+	for k := range t.m { // want `map iteration order`
+		delete(t.m, k)
+	}
+}
+
+func lineEscape() int64 {
+	return time.Now().UnixNano() //asd:allow determinism wall-clock throughput stamp, excluded from serialized results
+}
+
+// funcEscape is a trusted boundary: its whole body is exempt.
+//
+//asd:allow determinism one-time startup seeding, before the first simulated cycle
+func funcEscape() int {
+	return rand.Int()
+}

@@ -1,0 +1,68 @@
+// Package events is the exhaustive-events fixture: tagged switches
+// and name arrays must cover every constant of their enumeration type
+// (sentinels excluded); untagged switches are left alone.
+package events
+
+type Kind uint8
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	numKinds
+)
+
+//asd:exhaustive
+var names = [numKinds]string{"a", "b", "c"} // ok: fully populated
+
+//asd:exhaustive
+var short = [numKinds]string{"a", "b"} // want `2 of 3 elements populated`
+
+//asd:exhaustive
+var hole = [numKinds]string{"a", "", "c"} // want `element 1 is empty`
+
+func handle(k Kind) int {
+	//asd:exhaustive
+	switch k { // ok: every constant covered, KindC as explicit no-op
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		// seen and intentionally ignored
+	}
+	return 0
+}
+
+func partial(k Kind) int {
+	//asd:exhaustive
+	switch k { // want `misses: KindC`
+	case KindA, KindB:
+		return 1
+	}
+	return 0
+}
+
+func untagged(k Kind) int {
+	switch k { // ok: untagged switches are not exhaustiveness-checked
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+func notEnum(s string) {
+	//asd:exhaustive
+	switch s { // want `not a defined integer enumeration type`
+	case "x":
+	}
+}
+
+func use() [3]string {
+	_ = handle(KindA) + partial(KindB)
+	notEnum("x")
+	_ = untagged(KindC)
+	_ = short
+	_ = hole
+	return names
+}

@@ -1,0 +1,22 @@
+// Package app is the consumer half of the metriclint fixture: literal
+// metric and label names passed to Registry constructors are validated
+// against the exposition grammar at vet time.
+package app
+
+import "metrics"
+
+func register(r *metrics.Registry) {
+	r.Counter("farm_runs_total", "Completed runs.", "mode")   // ok
+	r.Counter("0bad", "Name starts with a digit.")            // want `metric name "0bad" violates`
+	r.Counter("farm-errs", "Name contains a dash.")           // want `metric name "farm-errs" violates`
+	r.Counter("farm_errs_total", "")                          // want `empty help string`
+	r.Gauge("farm_depth", "Queue depth.", "bad-label")        // want `label name "bad-label" violates`
+	r.Histogram("farm_wall_seconds", "Wall time.", nil, "le") // want `label name "le" violates`
+	r.Histogram("farm_cpu_seconds", "CPU time.", nil, "mode") // ok: labels start after bounds
+
+	labels := []string{"free-form"}
+	r.Counter("farm_dyn_total", "Splatted labels.", labels...) // ok: runtime Lint's job
+
+	name := "not+checked"
+	r.Counter(name, "Non-literal name.") // ok: outside static reach
+}

@@ -1,0 +1,16 @@
+// Package dep is the cross-package half of the noalloc fixture: hot
+// callers in package "hot" may call Certified (exported as a hotpath
+// fact) but not Plain.
+package dep
+
+// Certified is allocation-free and certified for hot-path callers.
+//
+//asd:hotpath
+func Certified(v int) int {
+	return v + 1
+}
+
+// Plain is not certified: calling it from hot code is a finding.
+func Plain(v int) int {
+	return v * 2
+}

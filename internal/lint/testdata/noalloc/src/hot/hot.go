@@ -1,0 +1,85 @@
+// Package hot is the hotpath-noalloc fixture: allocation-prone
+// constructs inside the //asd:hotpath closure must be flagged, while
+// recycling appends, pooled growth behind //asd:allow, and cold
+// functions must not.
+package hot
+
+import (
+	"fmt"
+
+	"dep"
+)
+
+type stepper interface {
+	Tick()
+}
+
+type node struct {
+	next *node
+}
+
+type ring struct {
+	buf     []int
+	scratch []int
+	label   string
+	m       map[int]int
+	pool    *node
+	s       stepper
+}
+
+// Step is the per-cycle entry point; helper joins the closure through
+// the static call below.
+//
+//asd:hotpath
+func (r *ring) Step(v int) {
+	r.scratch = append(r.scratch[:0], v) // ok: recycles its backing array
+	r.buf = append(r.buf, v)             // ok: self-append, reuses in steady state
+	r.helper(v)
+	_ = dep.Certified(v) // ok: certified by dep's own facts
+	_ = dep.Plain(v)     // want `call to dep\.Plain which is not hotpath-certified`
+	r.grow()             // ok: trusted boundary
+	r.take()
+	r.s.Tick() // want `dynamic call through interface hot\.stepper`
+}
+
+func (r *ring) helper(v int) {
+	tmp := make([]int, v) // want `make allocates`
+	_ = tmp
+	fresh := append(r.buf, v) // want `append into a fresh slice`
+	_ = fresh
+	r.label += "x" // want `string \+= allocates`
+	r.m[v] = v     // want `map write may allocate`
+	f := func() {} // want `closure literal may allocate`
+	_ = f
+	fmt.Println()       // want `fmt\.Println allocates`
+	sink(v)             // want `argument boxes int into`
+	pair := []int{v, v} // want `slice literal allocates`
+	_ = pair
+	p := &node{} // want `&composite literal escapes`
+	_ = p
+}
+
+func (r *ring) take() {
+	if r.pool == nil {
+		r.pool = new(node) //asd:allow hotpath-noalloc freelist first-generation growth; steady state recycles
+	}
+	r.pool = r.pool.next
+}
+
+// grow doubles the ring off the per-cycle path.
+//
+//asd:allow hotpath-noalloc amortized doubling runs off the per-cycle path
+func (r *ring) grow() {
+	next := make([]int, len(r.buf)*2)
+	copy(next, r.buf)
+	r.buf = next
+}
+
+func sink(v any) {
+	_ = v
+}
+
+// Report is entirely off the hot path: it may allocate freely.
+func (r *ring) Report() string {
+	return fmt.Sprintf("ring of %d", len(r.buf))
+}

@@ -33,6 +33,7 @@ func newArbiter(kind SchedulerKind) arbiter {
 // bank is busy.
 type inOrderArbiter struct{}
 
+//asd:hotpath
 func (inOrderArbiter) pick(queue []*cmdState, _ *dram.DRAM, _ uint64, _, _ int) int {
 	if len(queue) == 0 {
 		return -1
@@ -40,12 +41,14 @@ func (inOrderArbiter) pick(queue []*cmdState, _ *dram.DRAM, _ uint64, _, _ int) 
 	return oldestIndex(queue)
 }
 
+//asd:hotpath
 func (inOrderArbiter) issued(*cmdState, *dram.DRAM) {}
 
 // memorylessArbiter prefers the oldest command whose bank is ready,
 // falling back to the oldest overall; it keeps no history.
 type memorylessArbiter struct{}
 
+//asd:hotpath
 func (memorylessArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, _, _ int) int {
 	if len(queue) == 0 {
 		return -1
@@ -65,6 +68,7 @@ func (memorylessArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, _
 	return oldestIndex(queue)
 }
 
+//asd:hotpath
 func (memorylessArbiter) issued(*cmdState, *dram.DRAM) {}
 
 // ahbHistoryLen is the command-history depth the AHB arbiter scores
@@ -95,6 +99,7 @@ func newAHB() *ahbArbiter {
 	return a
 }
 
+//asd:hotpath
 func (a *ahbArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, writeQLen, writeQCap int) int {
 	if len(queue) == 0 {
 		return -1
@@ -143,6 +148,7 @@ func (a *ahbArbiter) pick(queue []*cmdState, d *dram.DRAM, dramNow uint64, write
 	return best
 }
 
+//asd:hotpath
 func (a *ahbArbiter) issued(cmd *cmdState, _ *dram.DRAM) {
 	copy(a.history[1:], a.history[:ahbHistoryLen-1])
 	a.history[0] = cmd.dec.Bank

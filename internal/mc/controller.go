@@ -189,7 +189,7 @@ func (c *Controller) getCmd() *cmdState {
 		c.cmdPool = c.cmdPool[:n-1]
 		return s
 	}
-	return new(cmdState)
+	return new(cmdState) //asd:allow hotpath-noalloc pool first-generation growth; steady state recycles via putCmd
 }
 
 // putCmd recycles a cmdState. Callers must be done with every field.
@@ -202,7 +202,7 @@ func (c *Controller) getPF() *pfState {
 		c.pfPool = c.pfPool[:n-1]
 		return p
 	}
-	return new(pfState)
+	return new(pfState) //asd:allow hotpath-noalloc pool first-generation growth; steady state recycles via putPF
 }
 
 // putPF recycles a pfState.
@@ -230,6 +230,8 @@ func (c *Controller) Adaptive() *core.AdaptiveScheduler { return c.adaptive }
 
 // Enqueue presents a command to the controller; it takes effect at the
 // next Step. Commands are processed in Enqueue order.
+//
+//asd:hotpath
 func (c *Controller) Enqueue(cmd mem.Command) {
 	isWrite := cmd.Kind == mem.Write
 	s := c.getCmd()
@@ -246,6 +248,8 @@ func (c *Controller) Enqueue(cmd mem.Command) {
 }
 
 // Busy reports whether the controller holds any work.
+//
+//asd:hotpath
 func (c *Controller) Busy() bool {
 	return c.inbox.Len()+c.readQ.Len()+c.writeQ.Len()+c.caq.Len()+c.lpq.Len()+
 		len(c.inflight)+len(c.pfFlight) > 0
@@ -261,6 +265,8 @@ func (c *Controller) Busy() bool {
 // between (an in-flight prefetch can hold the head's bank, which feeds
 // the DelayedRegular statistic per cycle observed, and a Prefetch
 // Buffer hit on the head would deliver at the very next cycle).
+//
+//asd:hotpath
 func (c *Controller) NextWake(cpuNow uint64) uint64 {
 	if c.inbox.Len()+c.readQ.Len()+c.writeQ.Len()+c.lpq.Len() > 0 {
 		return cpuNow + mem.CPUCyclesPerMCCycle
@@ -304,6 +310,8 @@ func (c *Controller) FlushLPQ() {
 
 // Step advances the controller by one MC cycle ending at CPU cycle
 // cpuNow. Callers step at mem.CPUCyclesPerMCCycle granularity.
+//
+//asd:hotpath
 func (c *Controller) Step(cpuNow uint64) {
 	dramNow := cpuNow / mem.CPUCyclesPerDRAMCycle
 	c.dram.ObserveCycle(dramNow)
@@ -759,7 +767,7 @@ func (c *Controller) deliver(cmd mem.Command, done uint64, merged bool) {
 			Line: cmd.Line, Thread: int32(cmd.Thread), V1: int64(done - cmd.Arrival), V2: m})
 	}
 	if c.onReadDone != nil {
-		c.onReadDone(cmd, done)
+		c.onReadDone(cmd, done) //asd:allow hotpath-noalloc completion callback installed once at wiring time; the runner's handler is itself checked
 	}
 }
 

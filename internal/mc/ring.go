@@ -86,7 +86,7 @@ func (r *ring[T]) Clear() {
 
 // grow doubles the buffer, relinearising the elements.
 func (r *ring[T]) grow() {
-	next := make([]T, len(r.buf)*2)
+	next := make([]T, len(r.buf)*2) //asd:allow hotpath-noalloc amortized ring doubling; steady state runs at stable capacity
 	for i := 0; i < r.n; i++ {
 		next[i] = r.At(i)
 	}

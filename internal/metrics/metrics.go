@@ -331,6 +331,17 @@ func validName(s string) bool { return validIdent(s, true) }
 // ([a-zA-Z_][a-zA-Z0-9_]*).
 func validLabel(s string) bool { return validIdent(s, false) }
 
+// ValidMetricName reports whether s is a legal exposition metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). It is the same grammar Lint enforces on
+// rendered payloads, exported so tooling (asdlint's metriclint pass)
+// can validate literal names at analysis time.
+func ValidMetricName(s string) bool { return validName(s) }
+
+// ValidLabelName reports whether s is a legal exposition label name
+// ([a-zA-Z_][a-zA-Z0-9_]*). Counterpart of ValidMetricName for label
+// keys; "le" is reserved for histogram buckets and rejected here.
+func ValidLabelName(s string) bool { return validLabel(s) && s != "le" }
+
 func validIdent(s string, colons bool) bool {
 	if s == "" {
 		return false

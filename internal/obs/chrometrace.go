@@ -97,11 +97,14 @@ func (t *TraceBuilder) StartProcess(name string) {
 }
 
 // Emit implements Sink.
+//
+//asd:hotpath
 func (t *TraceBuilder) Emit(e Event) {
 	if t.pid < 0 {
 		// No StartProcess yet: drop rather than corrupt the trace.
 		return
 	}
+	//asd:exhaustive
 	switch e.Kind {
 	case KindMCEnqueue:
 		if e.V1 == 0 { // lifetimes are tracked for Reads only
@@ -162,6 +165,14 @@ func (t *TraceBuilder) Emit(e Event) {
 		if e.V1 != e.V3 {
 			t.instant(fmt.Sprintf("policy->%d", e.V1), "sched", e.Cycle)
 		}
+	case KindMCPBHit, KindMCBankConflict, KindMCPFNominate, KindMCPFDrop,
+		KindMCPFLate, KindMCPFInstall, KindMCPFWasted, KindDRAMAccess,
+		KindDRAMRefresh, KindCacheAccess, KindCPUStall, KindASDPrefetchDecision:
+		// Too fine-grained for a per-command timeline: PB hits and
+		// merges already render from the MCComplete lifetime, per-access
+		// DRAM/cache/stall detail belongs to the sampler, and nominate/
+		// drop/install/wasted bookkeeping belongs to DepthStats. Seen
+		// and intentionally ignored.
 	}
 }
 

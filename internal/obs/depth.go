@@ -35,6 +35,8 @@ func depthBucket(v int64) int {
 }
 
 // Emit implements Sink.
+//
+//asd:hotpath
 func (d *DepthStats) Emit(e Event) {
 	switch e.Kind {
 	case KindMCPFNominate:

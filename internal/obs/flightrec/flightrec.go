@@ -137,6 +137,8 @@ func New(opts Options) *Recorder {
 // counter updates, and (for forensically interesting kinds) one ring
 // write; the highest-frequency gauge probes are aggregated but not
 // retained, keeping a recorded run's overhead small.
+//
+//asd:hotpath
 func (r *Recorder) Emit(e obs.Event) {
 	if !r.started {
 		r.started = true
@@ -156,6 +158,7 @@ func (r *Recorder) Emit(e obs.Event) {
 		}
 		return
 	}
+	//asd:exhaustive
 	switch e.Kind {
 	case obs.KindCacheAccess:
 		// L1 hits are the bulk of all demand traffic and carry no
@@ -189,6 +192,12 @@ func (r *Recorder) Emit(e obs.Event) {
 		r.slh.Observe(int(e.V1))
 	case obs.KindASDEpochRoll:
 		r.cur.EpochRolls++
+	case obs.KindMCQueues, obs.KindMCEnqueue, obs.KindMCSchedule,
+		obs.KindDRAMAccess, obs.KindDRAMRefresh, obs.KindCPUStall,
+		obs.KindSchedPolicy:
+		// KindMCQueues is consumed by the aggregate-only fast path
+		// above (unreachable here); the rest carry no window counters
+		// and flow straight to the forensic ring below.
 	}
 	// Masking with len-1 (a power of two) lets the compiler drop the
 	// bounds check on this store.

@@ -106,6 +106,8 @@ const (
 )
 
 // kindNames indexes Kind.String.
+//
+//asd:exhaustive
 var kindNames = [numKinds]string{
 	"mc-enqueue", "mc-schedule", "mc-issue", "mc-complete", "mc-pb-hit",
 	"mc-queues", "mc-bank-conflict", "mc-pf-nominate", "mc-pf-drop",
@@ -172,6 +174,8 @@ func (b *Bus) Attach(s Sink) {
 }
 
 // Emit delivers e to every sink in attach order. Safe on a nil bus.
+//
+//asd:hotpath
 func (b *Bus) Emit(e Event) {
 	if b == nil {
 		return
@@ -193,6 +197,8 @@ type Counter struct {
 }
 
 // Emit implements Sink.
+//
+//asd:hotpath
 func (c *Counter) Emit(e Event) {
 	if int(e.Kind) < len(c.counts) {
 		c.counts[e.Kind].Add(1)
@@ -220,4 +226,6 @@ func (c *Counter) Total() uint64 {
 type Funcs func(Event)
 
 // Emit implements Sink.
+//
+//asd:hotpath
 func (f Funcs) Emit(e Event) { f(e) }

@@ -159,11 +159,14 @@ func (s *Sampler) insertAt(i int, idx uint64) *Sample {
 }
 
 // Emit implements Sink.
+//
+//asd:hotpath
 func (s *Sampler) Emit(e Event) {
 	w := s.window(e.Cycle)
 	if w == nil {
 		return
 	}
+	//asd:exhaustive
 	switch e.Kind {
 	case KindMCQueues:
 		w.QueueObs++
@@ -231,6 +234,10 @@ func (s *Sampler) Emit(e Event) {
 	case KindSchedPolicy:
 		w.Policy = e.V1
 		s.policy = e.V1
+	case KindMCSchedule, KindMCIssue, KindMCPFInstall, KindASDPrefetchDecision:
+		// Pipeline-stage transitions and per-decision probes carry no
+		// window-level aggregate beyond what the kinds above already
+		// count; seen and intentionally ignored.
 	}
 }
 

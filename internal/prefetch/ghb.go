@@ -63,6 +63,8 @@ func (g *GHB) inWindow(s uint64) bool {
 }
 
 // ObserveRead implements MSEngine.
+//
+//asd:allow hotpath-noalloc GHB is the map-backed comparison baseline, not the paper configuration; its table churn is inherent
 func (g *GHB) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 	out := g.out[:0]
 	// Chase the most recent prior occurrence and nominate its
@@ -88,6 +90,7 @@ func (g *GHB) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 	// Bound the index: drop mappings that have fallen out of the buffer
 	// opportunistically (full GC every Entries observations).
 	if g.seq%uint64(len(g.buf)) == 0 {
+		//asd:allow determinism GC deletes every out-of-window key; the surviving set is order-independent
 		for l, s := range g.index {
 			if !g.inWindow(s) {
 				delete(g.index, l)
@@ -100,4 +103,6 @@ func (g *GHB) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 }
 
 // Tick implements MSEngine.
+//
+//asd:hotpath
 func (g *GHB) Tick(uint64) {}

@@ -30,6 +30,8 @@ type NextLine struct {
 func NewNextLine() *NextLine { return &NextLine{} }
 
 // ObserveRead implements MSEngine.
+//
+//asd:hotpath
 func (n *NextLine) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 	n.Issued++
 	n.out = append(n.out[:0], line.Next(+1))
@@ -37,6 +39,8 @@ func (n *NextLine) ObserveRead(line mem.Line, _ uint64) []mem.Line {
 }
 
 // Tick implements MSEngine.
+//
+//asd:hotpath
 func (n *NextLine) Tick(uint64) {}
 
 // P5StyleConfig parameterises the Power5-style in-MC baseline.
@@ -87,6 +91,8 @@ func NewP5Style(cfg P5StyleConfig) *P5Style {
 }
 
 // ObserveRead implements MSEngine.
+//
+//asd:hotpath
 func (p *P5Style) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	p.Tick(now)
 	for i := range p.slots {
@@ -142,6 +148,8 @@ func (p *P5Style) noteExpiry(at uint64) {
 
 // Tick implements MSEngine. The sweep is skipped while the earliest
 // possible expiry is still in the future (no slot can have run out).
+//
+//asd:hotpath
 func (p *P5Style) Tick(now uint64) {
 	if now < p.minExpiry {
 		return

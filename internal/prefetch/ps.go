@@ -87,6 +87,8 @@ func (p *PS) noteExpiry(at uint64) {
 // returns the prefetches to perform. The returned slice aliases a
 // scratch buffer owned by the PS unit and is valid only until the next
 // ObserveMiss call.
+//
+//asd:hotpath
 func (p *PS) ObserveMiss(line mem.Line, now uint64) []Request {
 	// Expire stale entries (skipped while the earliest possible expiry
 	// is still in the future: no entry can have run out).

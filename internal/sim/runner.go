@@ -74,7 +74,7 @@ type Result struct {
 
 // stamp fills the wall-clock fields from the run's start time.
 func (res *Result) stamp(start time.Time) {
-	res.WallSeconds = time.Since(start).Seconds()
+	res.WallSeconds = time.Since(start).Seconds() //asd:allow determinism wall-clock throughput stamp; excluded from serialized Results
 	if res.WallSeconds > 0 {
 		res.CyclesPerSec = float64(res.Cycles) / res.WallSeconds
 	}
@@ -137,7 +137,7 @@ func (r *runner) getFlight() *flight {
 		*f = flight{waiters: f.waiters[:0]}
 		return f
 	}
-	return new(flight)
+	return new(flight) //asd:allow hotpath-noalloc pool first-generation growth; steady state recycles via putFlight
 }
 
 // putFlight recycles a retired flight. Safe to call from onReadDone even
@@ -172,7 +172,7 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
+	start := time.Now() //asd:allow determinism wall-clock throughput stamp; excluded from serialized Results
 	r, err := buildRunner(bench, cfg)
 	if err != nil {
 		return Result{}, err
@@ -201,7 +201,7 @@ func RunTraceContext(ctx context.Context, name string, sources []trace.Source, c
 	if len(sources) != cfg.Threads {
 		return Result{}, fmt.Errorf("sim: %d trace sources for %d threads", len(sources), cfg.Threads)
 	}
-	start := time.Now()
+	start := time.Now() //asd:allow determinism wall-clock throughput stamp; excluded from serialized Results
 	r := newRunnerShell(cfg)
 	for t, src := range sources {
 		th := cpu.NewThread(t, src, cpu.Config{
@@ -359,6 +359,8 @@ func (r *runner) loop(ctx context.Context) error {
 
 // pickRunnable returns the unfinished thread with the smallest clock that
 // is not blocked on memory, or nil.
+//
+//asd:hotpath
 func (r *runner) pickRunnable() *cpu.Thread {
 	var best *cpu.Thread
 	for _, th := range r.threads {
@@ -385,6 +387,8 @@ func (r *runner) pickRunnable() *cpu.Thread {
 
 // stepMCTo processes memory-controller work in the background up to CPU
 // cycle target.
+//
+//asd:hotpath
 func (r *runner) stepMCTo(target uint64) {
 	for r.mcNow+mem.CPUCyclesPerMCCycle <= target {
 		if !r.ctrl.Busy() {
@@ -440,6 +444,8 @@ func (r *runner) stepUntilFlightDone(ctx context.Context, f *flight) error {
 }
 
 // execute resolves one trace record for thread th.
+//
+//asd:hotpath
 func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
 	line := mem.LineOf(rec.Addr)
 	store := rec.Op == trace.Store
@@ -479,7 +485,7 @@ func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
 		f := r.getFlight()
 		f.line, f.kind, f.dirty, f.needL1 = line, flightDemand, store, true
 		f.waiters = append(f.waiters, waiter{th: th, pendID: pendID})
-		r.flights[line] = f
+		r.flights[line] = f //asd:allow hotpath-noalloc flight table bounded by outstanding misses; buckets reused in steady state
 		r.enqueueRead(line, th.ID, th.Now)
 	}
 	if psObserve {
@@ -489,6 +495,8 @@ func (r *runner) execute(th *cpu.Thread, rec trace.Record) {
 
 // psMiss feeds the processor-side prefetcher with an L1 miss and launches
 // any prefetches it requests.
+//
+//asd:hotpath
 func (r *runner) psMiss(th *cpu.Thread, line mem.Line) {
 	for _, req := range r.ps.ObserveMiss(line, th.Now) {
 		if r.hier.Contains(req.Line) {
@@ -506,19 +514,23 @@ func (r *runner) psMiss(th *cpu.Thread, line mem.Line) {
 		}
 		f := r.getFlight()
 		f.line, f.kind, f.needL1 = req.Line, kind, req.IntoL1
-		r.flights[req.Line] = f
+		r.flights[req.Line] = f //asd:allow hotpath-noalloc flight table bounded by outstanding misses; buckets reused in steady state
 		r.psBusy++
 		r.enqueueRead(req.Line, th.ID, th.Now)
 	}
 }
 
 // enqueueRead files a Read with the memory controller.
+//
+//asd:hotpath
 func (r *runner) enqueueRead(line mem.Line, thread int, now uint64) {
 	r.cmdID++
 	r.ctrl.Enqueue(mem.Command{Kind: mem.Read, Line: line, Thread: thread, Arrival: now, ID: r.cmdID})
 }
 
 // enqueueWritebacks files cast-out Writes.
+//
+//asd:hotpath
 func (r *runner) enqueueWritebacks(lines []mem.Line, th *cpu.Thread) {
 	for _, l := range lines {
 		r.cmdID++
@@ -528,6 +540,8 @@ func (r *runner) enqueueWritebacks(lines []mem.Line, th *cpu.Thread) {
 
 // onReadDone is the MC completion callback: it fills the caches, releases
 // waiting threads, and retires the flight.
+//
+//asd:hotpath
 func (r *runner) onReadDone(cmd mem.Command, at uint64) {
 	f, ok := r.flights[cmd.Line]
 	if !ok {

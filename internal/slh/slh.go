@@ -74,6 +74,8 @@ func (t *Table) counterMax() uint32 { return uint32(t.cfg.EpochLen) }
 // stream's `length` Reads was part of a stream of length >= i), and
 // LHTcurr[i] is decremented by the same amounts so that mid-epoch
 // decisions drain the prediction as streams complete (§3.4).
+//
+//asd:hotpath
 func (t *Table) StreamEnded(length int) {
 	if length < 1 {
 		return
@@ -124,6 +126,8 @@ func (t *Table) LHT(i int) uint32 {
 // doubling as a left shift feeding the per-pair comparator. Stream
 // lengths at or beyond n_s clamp to the final pair, so workloads whose
 // streams overwhelmingly exceed n_s keep prefetching.
+//
+//asd:hotpath
 func (t *Table) ShouldPrefetch(k int) bool {
 	if k < 1 {
 		return false
@@ -138,6 +142,8 @@ func (t *Table) ShouldPrefetch(k int) bool {
 // largest m <= maxDegree with lht(k) < 2*lht(k+m). Because lht is
 // non-increasing, the feasible set is downward closed. Degree 0 means "do
 // not prefetch".
+//
+//asd:hotpath
 func (t *Table) PrefetchDegree(k, maxDegree int) int {
 	if k < 1 || maxDegree < 1 {
 		return 0

@@ -56,9 +56,13 @@ func (h *Histogram) Buckets() int { return len(h.buckets) }
 
 // Observe records one occurrence of value v (v < 1 is clamped to 1,
 // v > N to N).
+//
+//asd:hotpath
 func (h *Histogram) Observe(v int) { h.ObserveN(v, 1) }
 
 // ObserveN records n occurrences of value v.
+//
+//asd:hotpath
 func (h *Histogram) ObserveN(v int, n uint64) {
 	if v < 1 {
 		v = 1

@@ -88,6 +88,8 @@ type Observation struct {
 
 // Observe presents a Read for line at CPU cycle now and returns the
 // stream observation. Expired slots are retired first.
+//
+//asd:hotpath
 func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 	f.Observations++
 	f.expire(now)
@@ -174,6 +176,8 @@ func (f *Filter) expire(now uint64) {
 // Tick retires expired slots without observing a Read; the memory
 // controller calls this periodically so stream terminations reach the SLH
 // promptly even on quiet channels.
+//
+//asd:hotpath
 func (f *Filter) Tick(now uint64) { f.expire(now) }
 
 // FlushEpoch evicts every stream (called at each epoch boundary: "At the
@@ -202,6 +206,6 @@ func (f *Filter) Live() int {
 
 func (f *Filter) end(length int, dir mem.Direction) {
 	if f.onEnd != nil {
-		f.onEnd(length, dir)
+		f.onEnd(length, dir) //asd:allow hotpath-noalloc end-of-stream callback wired once at construction; the ASD engine's handler is itself checked
 	}
 }

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"asdsim/internal/mem"
+)
+
+// encodeRecords renders recs in the binary format, failing on writer
+// errors (a bytes.Buffer cannot fail).
+func encodeRecords(t testing.TB, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTraceCodec feeds arbitrary bytes to the binary trace reader.
+// Malformed input must fail cleanly (never panic, never loop), and
+// whatever prefix does decode must survive an encode/decode round
+// trip unchanged — the canonicalization property the farm relies on
+// when it re-materializes traces from disk.
+func FuzzTraceCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ASD1"))
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{'A', 'S', 'D', '1', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(encodeRecords(f, []Record{
+		{Gap: 0, Op: Load, Addr: 0},
+		{Gap: 17, Op: Store, Addr: 64},
+		{Gap: 1 << 31, Op: Load, Addr: 1 << 40},
+		{Gap: 3, Op: Load, Addr: 0}, // negative delta
+	}))
+	f.Add(append(encodeRecords(f, []Record{{Gap: 5, Op: Store, Addr: 4096}}), 0x80)) // truncated tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxRecords = 1 << 16
+		r := NewReader(bytes.NewReader(data))
+		var recs []Record
+		for len(recs) < maxRecords {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if rec.Op > Store {
+				t.Fatalf("reader produced invalid op %d", rec.Op)
+			}
+			recs = append(recs, rec)
+		}
+		// r.Err() may or may not be set — malformed tails are expected.
+		// Re-encoding the decoded prefix must round-trip exactly.
+		buf := encodeRecords(t, recs)
+		r2 := NewReader(bytes.NewReader(buf))
+		for i, want := range recs {
+			got, ok := r2.Next()
+			if !ok {
+				t.Fatalf("round trip lost record %d/%d (reader err: %v)", i, len(recs), r2.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, want, got)
+			}
+		}
+		if extra, ok := r2.Next(); ok {
+			t.Fatalf("round trip invented record %+v", extra)
+		}
+		if err := r2.Err(); err != nil {
+			t.Fatalf("round trip of valid records errored: %v", err)
+		}
+	})
+}
+
+// FuzzTraceEncode drives the codec from the record side: any sequence
+// of in-range records derived from the fuzz input must encode and
+// decode back to itself.
+func FuzzTraceEncode(f *testing.F) {
+	f.Add(uint32(0), uint64(0), uint64(1), byte(1))
+	f.Add(uint32(1<<32-1), uint64(1)<<63, uint64(977), byte(2))
+	f.Fuzz(func(t *testing.T, gap uint32, addr, stride uint64, n byte) {
+		recs := make([]Record, 0, int(n))
+		for i := 0; i < int(n); i++ {
+			op := Load
+			if i%3 == 0 {
+				op = Store
+			}
+			recs = append(recs, Record{
+				Gap:  gap + uint32(i),
+				Op:   op,
+				Addr: mem.Addr(addr + uint64(i)*stride),
+			})
+		}
+		buf := encodeRecords(t, recs)
+		r := NewReader(bytes.NewReader(buf))
+		got := Collect(r, 0)
+		if err := r.Err(); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("record %d: %+v -> %+v", i, recs[i], got[i])
+			}
+		}
+	})
+}
