@@ -7,23 +7,38 @@
 //	asdfarm run [-suites s1,s2|-benchmarks b1,b2] [-modes NP,PS,MS,PMS]
 //	            [-engine asd|next-line|p5-style|ghb] [-threads N]
 //	            [-budget N] [-seed N] [-derive-seeds] [-workers N]
-//	            [-timeout D] [-retries N] [-out results.jsonl] [-quiet]
-//	asdfarm serve [-addr :8465] [-workers N] [-out results.jsonl]
+//	            [-timeout D] [-retries N] [-out results.jsonl]
+//	            [-outcomes canon.json] [-cluster http://host:8465] [-quiet]
+//	asdfarm serve [-role local|coordinator|worker] [-addr :8465]
+//	              [-workers N] [-out path] [-coordinator URL]
+//	              [-lease-ttl D] [-worker-ttl D] [-name label]
 //
 // Batch mode prints a live progress meter, a per-benchmark gain table
 // (when NP/PS/MS/PMS all ran), and throughput totals. With -out,
-// results append to a JSON Lines file as they complete; rerunning with
-// the same -out resumes, skipping every run already on disk.
+// results append to a store as they complete; rerunning with the same
+// -out resumes, skipping every run already on disk. A -out path ending
+// in .jsonl is the single-file legacy layout; any other path is a
+// segmented store directory with background compaction. With -cluster,
+// the matrix is submitted to a coordinator's job API and executed by
+// its worker fleet instead of in-process; -outcomes writes the
+// canonical (sorted, wall-clock-free) outcome set either way, so
+// distributed and local runs can be byte-compared.
 //
 // Daemon mode exposes POST /jobs, GET /jobs, GET /jobs/{id},
-// DELETE /jobs/{id}, and GET /metrics.
+// DELETE /jobs/{id}, and GET /metrics. -role=coordinator additionally
+// serves the cluster lease protocol on POST /cluster/rpc and executes
+// jobs on registered workers; -role=worker joins a coordinator and
+// contributes -workers lease loops.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -34,6 +49,8 @@ import (
 	"syscall"
 	"time"
 
+	"asdsim/internal/cluster"
+	"asdsim/internal/cluster/rpc"
 	"asdsim/internal/farm"
 	"asdsim/internal/report"
 	"asdsim/internal/sim"
@@ -92,7 +109,9 @@ func runBatch(args []string) {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock limit (0: none)")
 	retries := fs.Int("retries", 1, "retries per failed run")
-	out := fs.String("out", "", "JSONL results file; enables persistence and resume")
+	out := fs.String("out", "", "results store (file or directory); enables persistence and resume")
+	outcomes := fs.String("outcomes", "", "write the canonical outcome set (sorted JSON, wall-clock-free) here")
+	clusterURL := fs.String("cluster", "", "coordinator base URL; run the matrix on the distributed farm")
 	quiet := fs.Bool("quiet", false, "suppress the progress meter")
 	fs.Parse(args)
 
@@ -113,6 +132,11 @@ func runBatch(args []string) {
 		fatal(err)
 	}
 
+	if *clusterURL != "" {
+		runOnCluster(*clusterURL, m, len(specs), *outcomes, *quiet)
+		return
+	}
+
 	var store *farm.Store
 	if *out != "" {
 		if store, err = farm.OpenStore(*out); err != nil {
@@ -125,12 +149,112 @@ func runBatch(args []string) {
 	}
 
 	pool := farm.New(farm.Options{Workers: *workers})
-	runMatrix(pool, specs, store, *quiet)
+	runMatrix(pool, specs, store, *outcomes, *quiet)
+}
+
+// writeOutcomes renders the canonical comparison set to path.
+func writeOutcomes(path string, outcomes []farm.Outcome) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := farm.WriteCanonical(f, outcomes); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// runOnCluster submits the matrix to a coordinator's job API, polls it
+// to completion, and fetches the canonical outcome set — which is
+// byte-identical to what a local -outcomes run writes, because every
+// simulation is a pure function of its spec.
+func runOnCluster(base string, m farm.Matrix, total int, outcomesPath string, quiet bool) {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(m)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		fatal(fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, sub.Error))
+	}
+	fmt.Fprintf(os.Stderr, "asdfarm: job %s submitted to %s (%d runs)\n", sub.ID, base, total)
+
+	start := time.Now()
+	var st struct {
+		Job struct {
+			State  string `json:"state"`
+			Done   int    `json:"done"`
+			Failed int    `json:"failed"`
+			Total  int    `json:"total"`
+		} `json:"job"`
+	}
+	for {
+		r, err := http.Get(base + "/jobs/" + sub.ID + "?limit=1")
+		if err != nil {
+			fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if !quiet {
+			elapsed := time.Since(start).Seconds()
+			var rps float64
+			if elapsed > 0 {
+				rps = float64(st.Job.Done) / elapsed
+			}
+			report.Progress(os.Stderr, st.Job.Done, st.Job.Failed, st.Job.Total, rps)
+		}
+		if st.Job.State != "running" {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+
+	r, err := http.Get(base + "/jobs/" + sub.ID + "?format=outcomes")
+	if err != nil {
+		fatal(err)
+	}
+	canon, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if outcomesPath != "" {
+		if err := os.WriteFile(outcomesPath, canon, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%d/%d runs done (%d failed) in %s via %s\n",
+		st.Job.Done, st.Job.Total, st.Job.Failed, time.Since(start).Round(time.Millisecond), base)
+	if st.Job.State != "done" || st.Job.Failed > 0 {
+		os.Exit(1)
+	}
 }
 
 // runMatrix executes specs on pool, rendering progress and the final
 // report; it exits non-zero if any run failed.
-func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, quiet bool) {
+func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, outcomesPath string, quiet bool) {
 	defer pool.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -164,6 +288,9 @@ func runMatrix(pool *farm.Pool, specs []farm.Spec, store *farm.Store, quiet bool
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if outcomesPath != "" {
+		writeOutcomes(outcomesPath, outcomes)
 	}
 
 	printReport(outcomes)
@@ -290,9 +417,14 @@ func printReport(outcomes []farm.Outcome) {
 
 func serve(args []string) {
 	fs := flag.NewFlagSet("asdfarm serve", flag.ExitOnError)
-	addr := fs.String("addr", ":8465", "listen address")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
-	out := fs.String("out", "", "JSONL results file shared by every job (persistence + resume)")
+	role := fs.String("role", "local", "local (in-process pool), coordinator (distribute to workers), worker (join a coordinator)")
+	addr := fs.String("addr", ":8465", "listen address (local, coordinator)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations (local, worker: lease loops)")
+	out := fs.String("out", "", "results store shared by every job: a .jsonl file or a segment directory")
+	coordURL := fs.String("coordinator", "", "coordinator base URL to join (worker)")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "lease TTL before an unrenewed task is reclaimed (coordinator)")
+	workerTTL := fs.Duration("worker-ttl", 10*time.Second, "worker liveness TTL (coordinator)")
+	name := fs.String("name", "", "worker label shown by the coordinator (default hostname)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof endpoints under /debug/pprof/")
 	observe := fs.Bool("observe", true, "attach per-run telemetry (flight recorder, sparklines, depth table)")
 	fs.Parse(args)
@@ -305,9 +437,26 @@ func serve(args []string) {
 		}
 		defer store.Close()
 	}
-	opts := farm.Options{Workers: *workers}
+
+	switch *role {
+	case "local":
+		serveLocal(*addr, *workers, store, *pprofOn, *observe)
+	case "coordinator":
+		serveCoordinator(*addr, store, *leaseTTL, *workerTTL, *pprofOn)
+	case "worker":
+		if *coordURL == "" {
+			fatal(errors.New("serve -role=worker needs -coordinator=<url>"))
+		}
+		serveWorker(*coordURL, *workers, *name, *observe)
+	default:
+		fatal(fmt.Errorf("unknown serve role %q (local, coordinator, worker)", *role))
+	}
+}
+
+func serveLocal(addr string, workers int, store *farm.Store, pprofOn, observe bool) {
+	opts := farm.Options{Workers: workers}
 	var tel *farm.Telemetry
-	if *observe {
+	if observe {
 		tel = farm.NewTelemetry()
 		opts.Instrument = tel.Instrument
 	}
@@ -317,16 +466,70 @@ func serve(args []string) {
 	if tel != nil {
 		api.AttachTelemetry(tel)
 	}
-	if *pprofOn {
+	if pprofOn {
 		api.EnablePprof()
 	}
-	srv := &http.Server{Addr: *addr, Handler: api.Handler()}
+	fmt.Fprintf(os.Stderr, "asdfarm: serving on %s with %d workers\n", addr, pool.Workers())
+	serveHTTP(addr, api, api.Handler())
+	pool.Close()
+}
+
+// serveCoordinator runs the distributed farm's control plane: the
+// regular job API backed by the worker fleet, plus the lease protocol
+// endpoint the workers speak.
+func serveCoordinator(addr string, store *farm.Store, leaseTTL, workerTTL time.Duration, pprofOn bool) {
+	coord := cluster.New(cluster.Options{LeaseTTL: leaseTTL, WorkerTTL: workerTTL, Store: store})
+	api := farm.NewServerFor(coord, store)
+	if pprofOn {
+		api.EnablePprof()
+	}
+	mux := http.NewServeMux()
+	mux.Handle(rpc.Route, rpc.Handler(coord))
+	mux.Handle("/", api.Handler())
+	fmt.Fprintf(os.Stderr, "asdfarm: coordinating on %s (lease TTL %s, worker TTL %s)\n", addr, leaseTTL, workerTTL)
+	serveHTTP(addr, api, mux)
+}
+
+// serveWorker joins a coordinator and serves leases until interrupted:
+// one lease loop per configured slot, all feeding one local pool.
+func serveWorker(coordURL string, slots int, name string, observe bool) {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	opts := farm.Options{Workers: slots}
+	var tel *farm.Telemetry
+	if observe {
+		tel = farm.NewTelemetry()
+		opts.Instrument = tel.Instrument
+	}
+	pool := farm.New(opts)
+	defer pool.Close()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	// Graceful shutdown, in dependency order: cancel jobs and end SSE
-	// streams, then close the listener draining in-flight requests, then
-	// drain the pool; the store closes via its defer, flushing the JSONL
-	// file last.
+	w := &cluster.Worker{Transport: rpc.New(strings.TrimRight(coordURL, "/")), Pool: pool, Name: name}
+	fmt.Fprintf(os.Stderr, "asdfarm: worker %q joining %s with %d slots\n", name, coordURL, slots)
+	errs := make(chan error, slots)
+	for i := 0; i < slots; i++ {
+		go func() { errs <- w.Run(ctx) }()
+	}
+	for i := 0; i < slots; i++ {
+		if err := <-errs; err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "asdfarm: worker:", err)
+		}
+	}
+	st := w.Stats()
+	fmt.Fprintf(os.Stderr, "asdfarm: worker done: %d acquired, %d completed, %d expired\n",
+		st.Acquired(), st.Completed(), st.Expired())
+}
+
+// serveHTTP runs one HTTP server with the shared graceful-shutdown
+// sequence: cancel jobs and end SSE streams, then close the listener
+// draining in-flight requests; stores close via their defers last.
+func serveHTTP(addr string, api *farm.Server, handler http.Handler) {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	go func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "asdfarm: shutting down")
@@ -335,12 +538,9 @@ func serve(args []string) {
 		api.Shutdown(shutdownCtx)
 		srv.Shutdown(shutdownCtx)
 	}()
-
-	fmt.Fprintf(os.Stderr, "asdfarm: serving on %s with %d workers\n", *addr, pool.Workers())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	pool.Close()
 }
 
 func fatal(err error) {

@@ -43,7 +43,7 @@ func (e *env) runAll(specs []runSpec) []asdsim.Result {
 			report.Progress(os.Stderr, done, failed, len(fs), 0)
 		}
 	}
-	outs, err := e.pool.RunBatch(context.Background(), fs, nil, onDone)
+	outs, err := e.pool.RunBatch(context.Background(), fs, e.store, onDone)
 	if onDone != nil {
 		fmt.Fprint(os.Stderr, "\r\033[K") // erase the meter before tables print
 	}

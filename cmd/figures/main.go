@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-budget N] [-seed N] [-workers N] <experiment>|all
+//	figures [-budget N] [-seed N] [-workers N] [-store PATH] <experiment>|all
 //
 // Experiments: fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fig15 fig16 smt sched hwcost epoch multiline
@@ -38,6 +38,9 @@ type env struct {
 	budget uint64
 	seed   uint64
 	pool   *farm.Pool
+	// store, when non-nil, persists every cell and resumes repeats
+	// without re-simulating (figures across runs share one matrix).
+	store *farm.Store
 	// quiet suppresses the in-place progress meter (forced when stderr
 	// is not a terminal, so piped output stays clean).
 	quiet bool
@@ -70,6 +73,7 @@ func main() {
 	budget := flag.Uint64("budget", 2_000_000, "instructions per thread per run")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	storePath := flag.String("store", "", "results store (file or segment directory); repeat runs resume instead of re-simulating")
 	quiet := flag.Bool("quiet", false, "suppress the in-place progress meter (automatic when stderr is piped)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -87,7 +91,16 @@ func main() {
 	}
 	pool := farm.New(farm.Options{Workers: *workers})
 	defer pool.Close()
-	e := &env{budget: *budget, seed: *seed, pool: pool, quiet: *quiet || !stderrIsTerminal()}
+	var store *farm.Store
+	if *storePath != "" {
+		var err error
+		if store, err = farm.OpenStore(*storePath); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	e := &env{budget: *budget, seed: *seed, pool: pool, store: store, quiet: *quiet || !stderrIsTerminal()}
 	if args[0] == "all" {
 		for _, ex := range experiments {
 			banner(ex)

@@ -1,0 +1,535 @@
+// Package cluster distributes a farm spec matrix across worker nodes.
+// A Coordinator owns the task state — registration, heartbeats with
+// liveness expiry, lease-based assignment with bounded TTLs, stealing
+// of expired leases — and implements farm.Runner, so the existing HTTP
+// job API transparently executes on the fleet. farm.Spec.Key() (the
+// SHA-256 spec hash) is the content address throughout: the shared
+// segmented store resumes completed cells, coalesces duplicate
+// submissions, and serves repeated queries without re-simulation.
+// Because every simulation is a pure function of its spec, any
+// scheduling — which worker, how many steals, what order — yields
+// bit-identical outcomes to a serial run; the multi-node determinism
+// test pins that under induced worker death.
+//
+// The coordinator core is deliberately passive: it spawns no
+// goroutines and never reads the wall clock itself (the driver injects
+// the clock), advancing lease and liveness state lazily on each
+// request. That keeps the whole state machine single-threaded under
+// one mutex and lets the asdlint determinism pass certify the package.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"asdsim/internal/farm"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// renewal before its task is reclaimed (default 15s).
+	LeaseTTL time.Duration
+	// WorkerTTL is how long a silent worker stays registered
+	// (default 10s); workers are told to heartbeat at TTL/3.
+	WorkerTTL time.Duration
+	// MaxLeaseLosses bounds how many times one task's lease may expire
+	// before the task is failed instead of retried (default 5).
+	MaxLeaseLosses int
+	// Store is the shared result store: resumed reads and completed
+	// writes. Optional; without it every batch re-executes.
+	Store *farm.Store
+	// Metrics receives the coordinator's pool-equivalent counters; one
+	// is created if nil.
+	Metrics *farm.Metrics
+	// Now is the injected clock; the default is the system clock. Tests
+	// substitute a fake to drive expiry deterministically.
+	Now func() time.Time
+}
+
+// New builds a Coordinator.
+func New(opts Options) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.WorkerTTL <= 0 {
+		opts.WorkerTTL = 10 * time.Second
+	}
+	if opts.MaxLeaseLosses <= 0 {
+		opts.MaxLeaseLosses = 5
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = farm.NewMetrics()
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now // clock injection point; never called in-package elsewhere
+	}
+	return &Coordinator{
+		opts:    opts,
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*ctask),
+		leases:  make(map[string]*lease),
+	}
+}
+
+// Coordinator is the cluster's single source of truth. All state lives
+// under one mutex; public methods sweep expired leases/workers first,
+// mutate, then deliver completions outside the lock.
+type Coordinator struct {
+	opts     Options
+	counters counters
+
+	mu       sync.Mutex
+	seq      int64 // id source for workers and leases
+	workers  map[string]*workerState
+	tasks    map[string]*ctask // by spec key
+	pending  []string          // spec keys awaiting a lease, FIFO
+	leases   map[string]*lease
+	storeErr error // first store write failure, reported by RunBatch
+}
+
+// workerState is one registered node.
+type workerState struct {
+	id     string
+	name   string
+	expiry time.Time
+}
+
+// taskState is a ctask's lifecycle position.
+type taskState uint8
+
+const (
+	taskPending taskState = iota
+	taskLeased
+)
+
+// ctask is one unit of work, keyed by its spec hash. Duplicate
+// submissions coalesce: each adds a waiter, the work runs once.
+type ctask struct {
+	key        string
+	spec       farm.Spec
+	state      taskState
+	lastWorker string // previous lease holder; a different next holder is a steal
+	losses     int    // leases lost to expiry or worker death
+	waiters    []waiterRef
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id     string
+	key    string
+	worker string
+	expiry time.Time
+}
+
+// waiterRef points at one slot of one waiting batch.
+type waiterRef struct {
+	b *batch
+	i int
+}
+
+// delivery is a completed outcome owed to waiters, handed out of the
+// locked region so batch callbacks never run under the coordinator
+// mutex.
+type delivery struct {
+	refs []waiterRef
+	o    farm.Outcome
+}
+
+func deliverAll(ds []delivery) {
+	for _, d := range ds {
+		for _, ref := range d.refs {
+			ref.b.deliver(ref.i, d.o)
+		}
+	}
+}
+
+// batch tracks one RunBatch call.
+type batch struct {
+	mu        sync.Mutex
+	out       []farm.Outcome
+	remaining int
+	dead      bool // cancelled; late deliveries are dropped
+	done      chan struct{}
+	onDone    func(farm.Outcome)
+}
+
+// deliver fills one slot and fires the observer; the batch mutex
+// serializes onDone exactly like Pool.RunBatch does.
+func (b *batch) deliver(i int, o farm.Outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		return
+	}
+	b.out[i] = o
+	if b.onDone != nil {
+		b.onDone(o)
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		close(b.done)
+	}
+}
+
+// abandon marks the batch cancelled and snapshots its outcomes so far.
+func (b *batch) abandon() []farm.Outcome {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dead = true
+	return append([]farm.Outcome(nil), b.out...)
+}
+
+// ms renders a duration for the wire.
+func ms(d time.Duration) int64 { return int64(d / time.Millisecond) }
+
+// Metrics returns the coordinator's counters (farm.Runner).
+func (c *Coordinator) Metrics() *farm.Metrics { return c.opts.Metrics }
+
+// Workers returns the live registered node count (farm.Runner).
+func (c *Coordinator) Workers() int {
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	n := len(c.workers)
+	c.mu.Unlock()
+	deliverAll(ds)
+	return n
+}
+
+// ClusterSnapshot exports the fleet state for /metrics, the SSE stream
+// and the dashboard (farm.ClusterSource).
+func (c *Coordinator) ClusterSnapshot() farm.ClusterSnapshot {
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	snap := farm.ClusterSnapshot{
+		Workers:          len(c.workers),
+		TasksPending:     len(c.pending),
+		LeasesActive:     len(c.leases),
+		LeaseExpirations: c.counters.expirations.Load(),
+		Steals:           c.counters.steals.Load(),
+		LateResults:      c.counters.late.Load(),
+		Completed:        c.counters.completed.Load(),
+	}
+	c.mu.Unlock()
+	deliverAll(ds)
+	if c.opts.Store != nil {
+		st := c.opts.Store.Stats()
+		snap.Store = &st
+	}
+	return snap
+}
+
+// Register admits a worker and hands it the timing contract.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.Version != ProtocolVersion {
+		return RegisterResponse{}, fmt.Errorf("%w: worker speaks protocol %d, coordinator %d",
+			ErrBadRequest, req.Version, ProtocolVersion)
+	}
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	c.seq++
+	w := &workerState{id: fmt.Sprintf("w-%d", c.seq), name: req.Name, expiry: now.Add(c.opts.WorkerTTL)}
+	c.workers[w.id] = w
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	deliverAll(ds)
+	return RegisterResponse{
+		WorkerID:    w.id,
+		LeaseTTLMS:  ms(c.opts.LeaseTTL),
+		HeartbeatMS: ms(c.opts.WorkerTTL / 3),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's liveness and extends every lease it
+// holds by the lease TTL.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	w := c.workers[req.WorkerID]
+	if w == nil {
+		c.mu.Unlock()
+		deliverAll(ds)
+		return HeartbeatResponse{}, fmt.Errorf("%w: %q", ErrUnknownWorker, req.WorkerID)
+	}
+	w.expiry = now.Add(c.opts.WorkerTTL)
+	held := 0
+	lids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		lids = append(lids, id)
+	}
+	sort.Strings(lids)
+	for _, id := range lids {
+		if l := c.leases[id]; l.worker == w.id {
+			l.expiry = now.Add(c.opts.LeaseTTL)
+			held++
+		}
+	}
+	c.mu.Unlock()
+	deliverAll(ds)
+	return HeartbeatResponse{Leases: held}, nil
+}
+
+// Acquire grants the oldest pending task under a fresh lease, or no
+// grant when the queue is empty. Acquiring also refreshes the worker's
+// liveness, so a busy poll loop needs no separate heartbeat.
+func (c *Coordinator) Acquire(req AcquireRequest) (AcquireResponse, error) {
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	w := c.workers[req.WorkerID]
+	if w == nil {
+		c.mu.Unlock()
+		deliverAll(ds)
+		return AcquireResponse{}, fmt.Errorf("%w: %q", ErrUnknownWorker, req.WorkerID)
+	}
+	w.expiry = now.Add(c.opts.WorkerTTL)
+
+	var t *ctask
+	for len(c.pending) > 0 && t == nil {
+		key := c.pending[0]
+		c.pending = c.pending[1:]
+		if cand := c.tasks[key]; cand != nil && cand.state == taskPending {
+			t = cand
+		}
+	}
+	if t == nil {
+		c.updateGaugesLocked()
+		c.mu.Unlock()
+		deliverAll(ds)
+		return AcquireResponse{}, nil
+	}
+	c.seq++
+	l := &lease{id: fmt.Sprintf("l-%d", c.seq), key: t.key, worker: w.id, expiry: now.Add(c.opts.LeaseTTL)}
+	c.leases[l.id] = l
+	t.state = taskLeased
+	if t.lastWorker != "" && t.lastWorker != w.id {
+		c.counters.noteSteal()
+	}
+	t.lastWorker = w.id
+	resp := AcquireResponse{
+		Grant:   &Grant{LeaseID: l.id, Key: t.key, Spec: t.spec, TTLMS: ms(c.opts.LeaseTTL)},
+		Pending: len(c.pending),
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	deliverAll(ds)
+	return resp, nil
+}
+
+// Complete accepts a leased task's outcome: persists it, feeds the
+// metrics, and wakes every batch waiting on the key. A completion
+// whose lease has already been reclaimed is rejected with
+// ErrLeaseExpired — the replacement run produces the bit-identical
+// result, so discarding the late copy loses nothing.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	now := c.opts.Now()
+	c.mu.Lock()
+	ds := c.sweepLocked(now)
+	if w := c.workers[req.WorkerID]; w != nil {
+		w.expiry = now.Add(c.opts.WorkerTTL)
+	}
+	l := c.leases[req.LeaseID]
+	if l == nil || l.worker != req.WorkerID {
+		c.counters.noteLate()
+		c.updateGaugesLocked()
+		c.mu.Unlock()
+		deliverAll(ds)
+		return CompleteResponse{}, fmt.Errorf("%w: lease %q", ErrLeaseExpired, req.LeaseID)
+	}
+	if req.Outcome.Key != l.key {
+		c.mu.Unlock()
+		deliverAll(ds)
+		return CompleteResponse{}, fmt.Errorf("%w: outcome key %q does not match lease %q for %q",
+			ErrBadRequest, req.Outcome.Key, req.LeaseID, l.key)
+	}
+	delete(c.leases, l.id)
+	t := c.tasks[l.key]
+	if t != nil {
+		ds = append(ds, c.finishTaskLocked(t, req.Outcome))
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	deliverAll(ds)
+	return CompleteResponse{}, nil
+}
+
+// finishTaskLocked retires a task with its terminal outcome: store
+// write, metrics, and the waiter list as a delivery for after unlock.
+func (c *Coordinator) finishTaskLocked(t *ctask, o farm.Outcome) delivery {
+	if c.opts.Store != nil {
+		if err := c.opts.Store.Append(o); err != nil && c.storeErr == nil {
+			c.storeErr = err
+		}
+	}
+	c.opts.Metrics.RecordOutcome(&t.spec, &o)
+	c.counters.noteCompleted()
+	delete(c.tasks, t.key)
+	return delivery{refs: t.waiters, o: o}
+}
+
+// sweepLocked advances time-driven state: deregisters silent workers,
+// reclaims their leases plus any lease past its TTL, requeues the
+// reclaimed tasks (stealing candidates), and fails tasks whose leases
+// were lost too often. Returned deliveries must be flushed after the
+// mutex is released.
+func (c *Coordinator) sweepLocked(now time.Time) []delivery {
+	wids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		wids = append(wids, id)
+	}
+	sort.Strings(wids)
+	for _, id := range wids {
+		if now.After(c.workers[id].expiry) {
+			delete(c.workers, id)
+		}
+	}
+
+	var ds []delivery
+	lids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		lids = append(lids, id)
+	}
+	sort.Strings(lids)
+	for _, id := range lids {
+		l := c.leases[id]
+		if _, alive := c.workers[l.worker]; alive && !now.After(l.expiry) {
+			continue
+		}
+		delete(c.leases, id)
+		c.counters.noteExpiration()
+		t := c.tasks[l.key]
+		if t == nil || t.state != taskLeased {
+			continue
+		}
+		t.losses++
+		t.lastWorker = l.worker
+		if t.losses >= c.opts.MaxLeaseLosses {
+			o := farm.Outcome{Key: t.key, Benchmark: t.spec.Benchmark, Mode: t.spec.Mode,
+				Engine: t.spec.Config.Engine.String(), Seed: t.spec.Config.Seed,
+				Err:      fmt.Sprintf("cluster: lease lost %d times (workers keep dying mid-run)", t.losses),
+				Attempts: t.losses}
+			ds = append(ds, c.finishTaskLocked(t, o))
+			continue
+		}
+		t.state = taskPending
+		c.pending = append(c.pending, t.key)
+	}
+	c.updateGaugesLocked()
+	return ds
+}
+
+// updateGaugesLocked mirrors the queue/lease depths into the shared
+// farm metrics so the existing dashboard fields stay meaningful.
+func (c *Coordinator) updateGaugesLocked() {
+	c.opts.Metrics.SetWorkers(len(c.workers))
+	c.opts.Metrics.SetQueued(len(c.pending))
+	c.opts.Metrics.SetBusy(len(c.leases))
+}
+
+// RunBatch implements farm.Runner over the fleet: store-resumed cells
+// are served immediately (read-through, zero re-simulation), the rest
+// are enqueued — coalescing with identical in-flight work — and the
+// call blocks until every cell completes or ctx is cancelled. Outcomes
+// come back in spec order regardless of which workers ran what.
+func (c *Coordinator) RunBatch(ctx context.Context, specs []farm.Spec, store *farm.Store, onDone func(farm.Outcome)) ([]farm.Outcome, error) {
+	if store == nil {
+		store = c.opts.Store
+	}
+	b := &batch{out: make([]farm.Outcome, len(specs)), remaining: len(specs),
+		done: make(chan struct{}), onDone: onDone}
+	c.opts.Metrics.RecordSubmitted(len(specs))
+
+	type resumedSlot struct {
+		i int
+		o farm.Outcome
+	}
+	var resumed []resumedSlot
+	c.mu.Lock()
+	for i, spec := range specs {
+		key := spec.Key()
+		if store != nil {
+			if prev, ok := store.Lookup(key); ok {
+				prev.Resumed = true
+				resumed = append(resumed, resumedSlot{i, prev})
+				continue
+			}
+		}
+		t := c.tasks[key]
+		if t == nil {
+			t = &ctask{key: key, spec: spec, state: taskPending}
+			c.tasks[key] = t
+			c.pending = append(c.pending, key)
+		}
+		t.waiters = append(t.waiters, waiterRef{b: b, i: i})
+	}
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+
+	if n := len(resumed); n > 0 {
+		c.opts.Metrics.RecordResumed(n)
+	}
+	for _, r := range resumed {
+		b.deliver(r.i, r.o)
+	}
+	if len(resumed) == len(specs) {
+		// Entirely cache-served; done is already closed by the last
+		// deliver, but fall through to the select for uniformity.
+	}
+
+	select {
+	case <-b.done:
+		c.mu.Lock()
+		err := c.storeErr
+		c.storeErr = nil
+		c.mu.Unlock()
+		return b.out, err
+	case <-ctx.Done():
+		c.cancelBatch(b)
+		return b.abandon(), ctx.Err()
+	}
+}
+
+// cancelBatch detaches b's waiters; pending tasks nobody else waits on
+// are dropped from the queue (leased ones run to completion — their
+// results are still worth storing).
+func (c *Coordinator) cancelBatch(b *batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.tasks))
+	for key := range c.tasks {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	drop := make(map[string]bool)
+	for _, key := range keys {
+		t := c.tasks[key]
+		kept := t.waiters[:0]
+		for _, ref := range t.waiters {
+			if ref.b != b {
+				kept = append(kept, ref)
+			}
+		}
+		t.waiters = kept
+		if len(kept) == 0 && t.state == taskPending {
+			delete(c.tasks, key)
+			drop[key] = true
+		}
+	}
+	if len(drop) > 0 {
+		pending := c.pending[:0]
+		for _, key := range c.pending {
+			if !drop[key] {
+				pending = append(pending, key)
+			}
+		}
+		c.pending = pending
+	}
+	c.updateGaugesLocked()
+}

@@ -1,0 +1,198 @@
+// Package rpc carries the cluster protocol over HTTP/JSON. One
+// endpoint (POST /cluster/rpc) moves every envelope kind; the envelope
+// codec — the fuzzed surface — lives in the cluster package, so this
+// layer is only framing: read body, decode, dispatch, encode.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"asdsim/internal/cluster"
+)
+
+// Route is the single protocol endpoint's path.
+const Route = "/cluster/rpc"
+
+// maxBodyBytes mirrors the codec's own envelope bound.
+const maxBodyBytes = 4 << 20
+
+// Handler serves the coordinator over HTTP. Mount it alongside the
+// farm server's handler on the coordinator's mux.
+func Handler(c *cluster.Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+Route, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeEnvelope(w, http.StatusBadRequest, errEnvelope(err))
+			return
+		}
+		m, err := cluster.DecodeMessage(body)
+		if err != nil {
+			writeEnvelope(w, http.StatusBadRequest, errEnvelope(err))
+			return
+		}
+		resp, err := dispatch(c, m)
+		if err != nil {
+			status := http.StatusBadRequest
+			switch cluster.ToWire(err).Code {
+			case cluster.CodeUnknownWorker:
+				status = http.StatusNotFound
+			case cluster.CodeLeaseExpired:
+				status = http.StatusConflict
+			}
+			writeEnvelope(w, status, errEnvelope(err))
+			return
+		}
+		writeEnvelope(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// dispatch routes one request envelope to the coordinator.
+func dispatch(c *cluster.Coordinator, m *cluster.Message) (*cluster.Message, error) {
+	switch m.Kind {
+	case "register":
+		resp, err := c.Register(*m.Register)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Message{Kind: "registered", Registered: &resp}, nil
+	case "heartbeat":
+		resp, err := c.Heartbeat(*m.Heartbeat)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Message{Kind: "heartbeat_ok", HeartbeatOK: &resp}, nil
+	case "acquire":
+		resp, err := c.Acquire(*m.Acquire)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Message{Kind: "acquire_ok", AcquireOK: &resp}, nil
+	case "complete":
+		resp, err := c.Complete(*m.Complete)
+		if err != nil {
+			return nil, err
+		}
+		return &cluster.Message{Kind: "complete_ok", CompleteOK: &resp}, nil
+	default:
+		return nil, fmt.Errorf("%w: a coordinator does not accept %q envelopes", cluster.ErrBadRequest, m.Kind)
+	}
+}
+
+func errEnvelope(err error) *cluster.Message {
+	return &cluster.Message{Kind: "error", Error: cluster.ToWire(err)}
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, m *cluster.Message) {
+	data, err := cluster.EncodeMessage(m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// Client implements cluster.Transport over HTTP against a
+// coordinator's base URL.
+type Client struct {
+	// Base is the coordinator's root URL, e.g. "http://10.0.0.1:8080".
+	Base string
+	// HTTPClient overrides http.DefaultClient (tests use the
+	// httptest server's client).
+	HTTPClient *http.Client
+}
+
+// New returns a Client for the coordinator at base.
+func New(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) call(ctx context.Context, req *cluster.Message) (*cluster.Message, error) {
+	data, err := cluster.EncodeMessage(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+Route, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	m, err := cluster.DecodeMessage(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster rpc: undecodable response (HTTP %d): %w", hresp.StatusCode, err)
+	}
+	if m.Kind == "error" {
+		return nil, m.Error.FromWire()
+	}
+	return m, nil
+}
+
+// expect unwraps a response envelope of the wanted kind.
+func expect(m *cluster.Message, kind string) error {
+	if m.Kind != kind {
+		return fmt.Errorf("cluster rpc: got %q envelope, want %q", m.Kind, kind)
+	}
+	return nil
+}
+
+func (c *Client) Register(ctx context.Context, req cluster.RegisterRequest) (cluster.RegisterResponse, error) {
+	m, err := c.call(ctx, &cluster.Message{Kind: "register", Register: &req})
+	if err != nil {
+		return cluster.RegisterResponse{}, err
+	}
+	if err := expect(m, "registered"); err != nil {
+		return cluster.RegisterResponse{}, err
+	}
+	return *m.Registered, nil
+}
+
+func (c *Client) Heartbeat(ctx context.Context, req cluster.HeartbeatRequest) (cluster.HeartbeatResponse, error) {
+	m, err := c.call(ctx, &cluster.Message{Kind: "heartbeat", Heartbeat: &req})
+	if err != nil {
+		return cluster.HeartbeatResponse{}, err
+	}
+	if err := expect(m, "heartbeat_ok"); err != nil {
+		return cluster.HeartbeatResponse{}, err
+	}
+	return *m.HeartbeatOK, nil
+}
+
+func (c *Client) Acquire(ctx context.Context, req cluster.AcquireRequest) (cluster.AcquireResponse, error) {
+	m, err := c.call(ctx, &cluster.Message{Kind: "acquire", Acquire: &req})
+	if err != nil {
+		return cluster.AcquireResponse{}, err
+	}
+	if err := expect(m, "acquire_ok"); err != nil {
+		return cluster.AcquireResponse{}, err
+	}
+	return *m.AcquireOK, nil
+}
+
+func (c *Client) Complete(ctx context.Context, req cluster.CompleteRequest) (cluster.CompleteResponse, error) {
+	m, err := c.call(ctx, &cluster.Message{Kind: "complete", Complete: &req})
+	if err != nil {
+		return cluster.CompleteResponse{}, err
+	}
+	if err := expect(m, "complete_ok"); err != nil {
+		return cluster.CompleteResponse{}, err
+	}
+	return *m.CompleteOK, nil
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import "context"
+
+// Transport is how a worker reaches its coordinator. Two
+// implementations exist: Loopback (in-process, the determinism tests'
+// substrate) and rpc.Client (HTTP/JSON between nodes). Both surface
+// the same sentinel errors, so worker logic is transport-blind.
+type Transport interface {
+	Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error)
+	Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error)
+	Acquire(ctx context.Context, req AcquireRequest) (AcquireResponse, error)
+	Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error)
+}
+
+// Loopback adapts a Coordinator into an in-process Transport: same
+// protocol, no wire. Multi-node tests run a coordinator plus loopback
+// workers in one process so the race detector sees every interleaving.
+type Loopback struct {
+	C *Coordinator
+}
+
+func (l Loopback) Register(_ context.Context, req RegisterRequest) (RegisterResponse, error) {
+	return l.C.Register(req)
+}
+
+func (l Loopback) Heartbeat(_ context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	return l.C.Heartbeat(req)
+}
+
+func (l Loopback) Acquire(_ context.Context, req AcquireRequest) (AcquireResponse, error) {
+	return l.C.Acquire(req)
+}
+
+func (l Loopback) Complete(_ context.Context, req CompleteRequest) (CompleteResponse, error) {
+	return l.C.Complete(req)
+}

@@ -1,0 +1,55 @@
+package farm
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"asdsim/internal/sim"
+)
+
+// CanonicalOutcome is one run's comparison form: the fields that are a
+// pure function of the spec, with execution accidents (wall-clock,
+// attempt counts, resume provenance) stripped. Two runs of the same
+// matrix — serial or distributed, fresh or cache-served — marshal to
+// byte-identical canonical sets, which is what the multi-node parity
+// checks diff.
+type CanonicalOutcome struct {
+	Key       string      `json:"key"`
+	Benchmark string      `json:"benchmark"`
+	Mode      string      `json:"mode"`
+	Engine    string      `json:"engine,omitempty"`
+	Seed      uint64      `json:"seed"`
+	Error     string      `json:"error,omitempty"`
+	Result    *sim.Result `json:"result,omitempty"`
+}
+
+// Canonicalize shapes outcomes into their canonical comparison form,
+// sorted by (benchmark, mode, key).
+func Canonicalize(outcomes []Outcome) []CanonicalOutcome {
+	out := make([]CanonicalOutcome, len(outcomes))
+	for i, o := range outcomes {
+		out[i] = CanonicalOutcome{Key: o.Key, Benchmark: o.Benchmark, Mode: o.Mode.String(),
+			Engine: o.Engine, Seed: o.Seed, Error: o.Err, Result: o.Result}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Benchmark != out[b].Benchmark {
+			return out[a].Benchmark < out[b].Benchmark
+		}
+		if out[a].Mode != out[b].Mode {
+			return out[a].Mode < out[b].Mode
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// WriteCanonical writes the canonical JSON rendering (two-space
+// indented, one trailing newline) — the single encoder both the CLI's
+// -outcomes flag and the server's ?format=outcomes use, so their
+// outputs can be compared with cmp/diff.
+func WriteCanonical(w io.Writer, outcomes []Outcome) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Canonicalize(outcomes))
+}

@@ -1,0 +1,63 @@
+package farm
+
+import (
+	prom "asdsim/internal/metrics"
+)
+
+// ClusterSnapshot is a point-in-time view of a distributed farm: the
+// coordinator's fleet and lease state plus the shared result store's
+// cache behaviour. It lives in this package (not internal/cluster) so
+// the Server can render it without an import cycle — cluster imports
+// farm, and hands the Server a ClusterSource.
+type ClusterSnapshot struct {
+	Workers          int         `json:"workers"`
+	TasksPending     int         `json:"tasks_pending"`
+	LeasesActive     int         `json:"leases_active"`
+	LeaseExpirations uint64      `json:"lease_expirations_total"`
+	Steals           uint64      `json:"steals_total"`
+	LateResults      uint64      `json:"late_results_total"`
+	Completed        uint64      `json:"completed_total"`
+	Store            *StoreStats `json:"store,omitempty"`
+}
+
+// ClusterSource is implemented by Runners that are cluster
+// coordinators; the Server uses it to light up the cluster_* metric
+// families, the SSE cluster field and the dashboard panel.
+type ClusterSource interface {
+	ClusterSnapshot() ClusterSnapshot
+}
+
+// clusterSnapshot returns the runner's fleet state, or nil for a plain
+// in-process pool.
+func (s *Server) clusterSnapshot() *ClusterSnapshot {
+	if cs, ok := s.runner.(ClusterSource); ok {
+		snap := cs.ClusterSnapshot()
+		return &snap
+	}
+	return nil
+}
+
+// addClusterTo folds the fleet state into the scrape registry.
+func addClusterTo(reg *prom.Registry, cs *ClusterSnapshot) {
+	gauge := func(name, help string, v float64) {
+		reg.Gauge(name, help).With().Set(v)
+	}
+	counter := func(name, help string, v float64) {
+		reg.Counter(name, help).With().Add(v)
+	}
+	gauge("cluster_workers", "Live registered worker nodes.", float64(cs.Workers))
+	gauge("cluster_tasks_pending", "Tasks awaiting a lease.", float64(cs.TasksPending))
+	gauge("cluster_leases_active", "Leases currently held by workers.", float64(cs.LeasesActive))
+	counter("cluster_lease_expirations_total", "Leases reclaimed after TTL or worker-liveness expiry.", float64(cs.LeaseExpirations))
+	counter("cluster_steals_total", "Reclaimed tasks re-leased to a different worker.", float64(cs.Steals))
+	counter("cluster_late_results_total", "Results rejected because their lease had already expired.", float64(cs.LateResults))
+	counter("cluster_completed_total", "Tasks completed through the coordinator.", float64(cs.Completed))
+	if st := cs.Store; st != nil {
+		counter("cluster_store_cache_hits_total", "Result-store lookups served from the read-through cache.", float64(st.CacheHits))
+		counter("cluster_store_cache_misses_total", "Result-store lookups that went to the index or found nothing.", float64(st.CacheMisses))
+		counter("cluster_store_compactions_total", "Segment compaction cycles completed.", float64(st.Compactions))
+		gauge("cluster_store_segments", "Segment files in the result store.", float64(st.Segments))
+		gauge("cluster_store_entries", "Live resumable results in the store index.", float64(st.Entries))
+		gauge("cluster_store_garbage_lines", "Droppable store lines awaiting compaction.", float64(st.Garbage))
+	}
+}

@@ -62,6 +62,7 @@ type Outcome struct {
 	Key       string      `json:"key"`
 	Benchmark string      `json:"benchmark"`
 	Mode      sim.Mode    `json:"mode"`
+	Engine    string      `json:"engine,omitempty"`
 	Seed      uint64      `json:"seed"`
 	Result    *sim.Result `json:"result,omitempty"`
 	Err       string      `json:"error,omitempty"`
@@ -214,7 +215,8 @@ func (p *Pool) worker() {
 // per-attempt timeouts and batch cancellation.
 func (p *Pool) runJob(ctx context.Context, spec Spec) Outcome {
 	start := time.Now()
-	o := Outcome{Key: spec.Key(), Benchmark: spec.Benchmark, Mode: spec.Mode, Seed: spec.Config.Seed}
+	o := Outcome{Key: spec.Key(), Benchmark: spec.Benchmark, Mode: spec.Mode,
+		Engine: spec.Config.Engine.String(), Seed: spec.Config.Seed}
 	p.metrics.busy.Add(1)
 	for attempt := 0; ; attempt++ {
 		o.Attempts = attempt + 1
@@ -315,7 +317,7 @@ func (p *Pool) RunBatch(ctx context.Context, specs []Spec, store *Store, onDone 
 		})
 		if err != nil {
 			out[i] = Outcome{Key: s.Key(), Benchmark: s.Benchmark, Mode: s.Mode,
-				Seed: s.Config.Seed, Err: err.Error(), Attempts: 0}
+				Engine: s.Config.Engine.String(), Seed: s.Config.Seed, Err: err.Error(), Attempts: 0}
 			wg.Done()
 		}
 	}

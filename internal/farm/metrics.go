@@ -90,6 +90,29 @@ func NewMetrics() *Metrics {
 
 func (m *Metrics) setWorkers(n int) { m.workers.Store(int64(n)) }
 
+// The exported recorders below let an out-of-package Runner — the
+// cluster coordinator — feed the same counters the in-process Pool
+// feeds, so /metrics and the dashboard read identically whichever
+// engine executes a batch.
+
+// SetWorkers records the fleet's current executor count.
+func (m *Metrics) SetWorkers(n int) { m.setWorkers(n) }
+
+// SetQueued records the current depth of not-yet-leased work.
+func (m *Metrics) SetQueued(n int) { m.queued.Store(int64(n)) }
+
+// SetBusy records how many jobs are currently leased out.
+func (m *Metrics) SetBusy(n int) { m.busy.Store(int64(n)) }
+
+// RecordSubmitted counts n newly accepted jobs.
+func (m *Metrics) RecordSubmitted(n int) { m.submitted.Add(uint64(n)) }
+
+// RecordResumed counts n jobs served from a Store instead of run.
+func (m *Metrics) RecordResumed(n int) { m.resumed.Add(uint64(n)) }
+
+// RecordOutcome records one terminal outcome under its spec's cell.
+func (m *Metrics) RecordOutcome(spec *Spec, o *Outcome) { m.finish(spec, o) }
+
 // finish records one terminal outcome under its spec's label cell.
 func (m *Metrics) finish(spec *Spec, o *Outcome) {
 	if o.OK() {

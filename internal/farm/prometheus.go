@@ -129,12 +129,16 @@ func (s *Server) addJobsTo(reg *prom.Registry) {
 }
 
 // buildRegistry assembles the full scrape payload: pool counters,
-// labeled run series, per-job progress, and — when telemetry is
-// attached — the aggregated per-depth prefetch table.
+// labeled run series, per-job progress, the cluster fleet state when
+// the runner is a coordinator, and — when telemetry is attached — the
+// aggregated per-depth prefetch table.
 func (s *Server) buildRegistry() *prom.Registry {
 	reg := prom.NewRegistry()
-	s.pool.Metrics().AddTo(reg)
+	s.runner.Metrics().AddTo(reg)
 	s.addJobsTo(reg)
+	if cs := s.clusterSnapshot(); cs != nil {
+		addClusterTo(reg, cs)
+	}
 	if s.telemetry != nil {
 		s.telemetry.addTo(reg)
 	}

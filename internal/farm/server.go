@@ -8,24 +8,37 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"asdsim/internal/sim"
 )
 
-// Server exposes a Pool over HTTP:
+// Runner is the execution engine behind a Server: the in-process Pool,
+// or the cluster Coordinator fanning specs out to remote workers. Both
+// share RunBatch's contract — outcomes in spec order, deterministic at
+// any concurrency, store-resumed where possible.
+type Runner interface {
+	RunBatch(ctx context.Context, specs []Spec, store *Store, onDone func(Outcome)) ([]Outcome, error)
+	Metrics() *Metrics
+	Workers() int
+}
+
+// Server exposes a Runner over HTTP:
 //
 //	POST   /jobs       submit a Matrix; returns {"id": ..., "runs": N}
-//	GET    /jobs       list job summaries
+//	GET    /jobs       list job summaries (?limit=, ?after=<job id>)
 //	GET    /jobs/{id}  job status, aggregated gains, per-run results
+//	                   (?bench=, ?mode=, ?engine=, ?limit=, ?after=<key>;
+//	                   ?format=outcomes for the canonical comparison set)
 //	DELETE /jobs/{id}  cancel a running job
 //	GET    /metrics    pool counters (queue depth, utilization, runs/sec)
 //
 // A non-nil store gives every submitted job resume-from-partial-results
-// against the same JSONL file the CLI writes.
+// against the same store the CLI writes.
 type Server struct {
-	pool      *Pool
+	runner    Runner
 	store     *Store
 	pprof     bool
 	expvar    *expvar.Map
@@ -59,7 +72,13 @@ type serverJob struct {
 
 // NewServer wraps pool (and an optional store) in an HTTP API.
 func NewServer(pool *Pool, store *Store) *Server {
-	return &Server{pool: pool, store: store, jobs: make(map[string]*serverJob),
+	return NewServerFor(pool, store)
+}
+
+// NewServerFor wraps any Runner — an in-process Pool or a cluster
+// Coordinator — in the same HTTP API.
+func NewServerFor(r Runner, store *Store) *Server {
+	return &Server{runner: r, store: store, jobs: make(map[string]*serverJob),
 		expvar: farmJobsVar, sseInterval: time.Second, shutdown: make(chan struct{})}
 }
 
@@ -181,7 +200,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	go func() {
 		defer cancel()
-		s.pool.RunBatch(ctx, specs, s.store, func(o Outcome) {
+		s.runner.RunBatch(ctx, specs, s.store, func(o Outcome) {
 			j.mu.Lock()
 			j.outcomes = append(j.outcomes, o)
 			j.mu.Unlock()
@@ -234,25 +253,71 @@ func (s *Server) job(id string) *serverJob {
 	return s.jobs[id]
 }
 
+// pageParams reads the shared ?limit= and ?after= pagination query
+// parameters. limit <= 0 (or absent) means unbounded; after names the
+// last item of the previous page by its ID in the deterministic order.
+func pageParams(r *http.Request) (limit int, after string, err error) {
+	q := r.URL.Query()
+	after = q.Get("after")
+	if s := q.Get("limit"); s != "" {
+		limit, err = strconv.Atoi(s)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad limit %q: %w", s, err)
+		}
+	}
+	return limit, after, nil
+}
+
+// paginate slices items to the page after the element with the given
+// id, capped at limit. The id of each element comes from idOf. An
+// unknown ?after= cursor yields an empty page rather than an error:
+// cursors outlive the items they point at (a deleted job is a valid
+// place to resume from only if we still know it; we don't pretend to).
+func paginate[T any](items []T, limit int, after string, idOf func(T) string) []T {
+	start := 0
+	if after != "" {
+		start = len(items)
+		for i, it := range items {
+			if idOf(it) == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	items = items[start:]
+	if limit > 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit, after, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	s.mu.Lock()
-	jobs := make([]*serverJob, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	ids := s.sortedJobIDs() // creation order: deterministic pagination
+	jobs := make([]*serverJob, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
 	sums := make([]jobSummary, len(jobs))
 	for i, j := range jobs {
 		sums[i] = j.summary()
 	}
-	sort.Slice(sums, func(a, b int) bool { return sums[a].ID < sums[b].ID })
+	sums = paginate(sums, limit, after, func(j jobSummary) string { return j.ID })
 	writeJSON(w, http.StatusOK, sums)
 }
 
 // runView is one run's compact result row.
 type runView struct {
+	Key       string  `json:"key"`
 	Benchmark string  `json:"benchmark"`
 	Mode      string  `json:"mode"`
+	Engine    string  `json:"engine,omitempty"`
 	Cycles    uint64  `json:"cycles,omitempty"`
 	IPC       float64 `json:"ipc,omitempty"`
 	Attempts  int     `json:"attempts"`
@@ -277,7 +342,7 @@ func runsAndGains(outcomes []Outcome) ([]runView, []benchGains) {
 	runs := make([]runView, len(outcomes))
 	cycles := map[string]map[sim.Mode]uint64{}
 	for i, o := range outcomes {
-		runs[i] = runView{Benchmark: o.Benchmark, Mode: o.Mode.String(),
+		runs[i] = runView{Key: o.Key, Benchmark: o.Benchmark, Mode: o.Mode.String(), Engine: o.Engine,
 			Attempts: o.Attempts, WallMS: o.WallMS, Resumed: o.Resumed, Error: o.Err}
 		if o.OK() {
 			runs[i].Cycles = o.Result.Cycles
@@ -292,7 +357,10 @@ func runsAndGains(outcomes []Outcome) ([]runView, []benchGains) {
 		if runs[a].Benchmark != runs[b].Benchmark {
 			return runs[a].Benchmark < runs[b].Benchmark
 		}
-		return runs[a].Mode < runs[b].Mode
+		if runs[a].Mode != runs[b].Mode {
+			return runs[a].Mode < runs[b].Mode
+		}
+		return runs[a].Key < runs[b].Key // total order: stable pagination cursors
 	})
 
 	gain := func(base, res uint64) *float64 {
@@ -330,13 +398,49 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	outcomes := append([]Outcome(nil), j.outcomes...)
 	j.mu.Unlock()
+
+	if r.URL.Query().Get("format") == "outcomes" {
+		// The canonical comparison set: what `asdfarm run -outcomes`
+		// writes locally, so distributed and serial runs byte-diff.
+		w.Header().Set("Content-Type", "application/json")
+		WriteCanonical(w, outcomes)
+		return
+	}
+
+	limit, after, err := pageParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	runs, gains := runsAndGains(outcomes)
+	runs = filterRuns(runs, r)
+	runs = paginate(runs, limit, after, func(v runView) string { return v.Key })
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"job":   j.summary(),
 		"gains": gains,
 		"runs":  runs,
 	})
+}
+
+// filterRuns applies the ?bench=, ?mode= and ?engine= row filters.
+// Values match the row's rendered fields exactly ("PMS", "asd", ...);
+// an empty parameter is a wildcard.
+func filterRuns(runs []runView, r *http.Request) []runView {
+	q := r.URL.Query()
+	bench, mode, engine := q.Get("bench"), q.Get("mode"), q.Get("engine")
+	if bench == "" && mode == "" && engine == "" {
+		return runs
+	}
+	kept := make([]runView, 0, len(runs))
+	for _, v := range runs {
+		if (bench == "" || v.Benchmark == bench) &&
+			(mode == "" || v.Mode == mode) &&
+			(engine == "" || v.Engine == engine) {
+			kept = append(kept, v)
+		}
+	}
+	return kept
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -356,10 +460,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // metricsView is /metrics's wire form: the pool snapshot's flat fields
 // (embedded, preserving the pre-existing shape) plus live per-job
-// counters.
+// counters, the result store's shape, and — when the runner is a
+// cluster coordinator — the fleet state.
 type metricsView struct {
 	Snapshot
-	Jobs map[string]jobSummary `json:"jobs,omitempty"`
+	Jobs    map[string]jobSummary `json:"jobs,omitempty"`
+	Store   *StoreStats           `json:"store,omitempty"`
+	Cluster *ClusterSnapshot      `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +482,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		jobs[id] = j.summary()
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, metricsView{Snapshot: s.pool.Metrics().Snapshot(), Jobs: jobs})
+	mv := metricsView{Snapshot: s.runner.Metrics().Snapshot(), Jobs: jobs}
+	if s.store != nil {
+		st := s.store.Stats()
+		mv.Store = &st
+	}
+	if cs := s.clusterSnapshot(); cs != nil {
+		mv.Cluster = cs
+	}
+	writeJSON(w, http.StatusOK, mv)
 }
 
 // handleFlightrecList returns the retained triage bundles' index: ID,

@@ -1,0 +1,250 @@
+package farm
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	prom "asdsim/internal/metrics"
+	"asdsim/internal/sim"
+)
+
+type statusPage struct {
+	Job   jobSummary   `json:"job"`
+	Gains []benchGains `json:"gains"`
+	Runs  []runView    `json:"runs"`
+}
+
+// submitAndFinish posts a matrix and polls it to completion.
+func submitAndFinish(t *testing.T, srv *httptest.Server, m Matrix) string {
+	t.Helper()
+	resp := postJSON(t, srv.URL+"/jobs", m)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	id := decode[map[string]any](t, resp)["id"].(string)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := decode[statusPage](t, r); st.Job.State == "done" {
+			return id
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getRuns(t *testing.T, srv *httptest.Server, id, query string) []runView {
+	t.Helper()
+	r, err := http.Get(srv.URL + "/jobs/" + id + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", query, r.StatusCode)
+	}
+	return decode[statusPage](t, r).Runs
+}
+
+// Pagination walks the full run list in stable deterministic order;
+// filters select exact rendered fields; bad cursors and limits behave.
+func TestServerRunPaginationAndFilters(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1000 + uint64(s.Mode)), nil
+	})
+	id := submitAndFinish(t, srv, Matrix{Benchmarks: []string{"GemsFDTD", "milc"}, Budget: 5000})
+
+	all := getRuns(t, srv, id, "")
+	if len(all) != 8 {
+		t.Fatalf("unpaginated runs = %d, want 8", len(all))
+	}
+
+	// Page through with limit=3: pages concatenate to exactly the
+	// unpaginated order.
+	var paged []runView
+	after := ""
+	for {
+		q := "?limit=3"
+		if after != "" {
+			q += "&after=" + after
+		}
+		page := getRuns(t, srv, id, q)
+		if len(page) == 0 {
+			break
+		}
+		if len(page) > 3 {
+			t.Fatalf("page of %d rows exceeds limit", len(page))
+		}
+		paged = append(paged, page...)
+		after = page[len(page)-1].Key
+	}
+	if len(paged) != len(all) {
+		t.Fatalf("paged total = %d, want %d", len(paged), len(all))
+	}
+	for i := range all {
+		if paged[i].Key != all[i].Key {
+			t.Fatalf("page order diverges at %d: %s vs %s", i, paged[i].Key, all[i].Key)
+		}
+	}
+
+	if got := getRuns(t, srv, id, "?bench=GemsFDTD"); len(got) != 4 {
+		t.Errorf("bench filter rows = %d, want 4", len(got))
+	}
+	if got := getRuns(t, srv, id, "?mode=PMS"); len(got) != 2 {
+		t.Errorf("mode filter rows = %d, want 2", len(got))
+	} else if got[0].Mode != "PMS" || got[1].Mode != "PMS" {
+		t.Errorf("mode filter leaked rows: %+v", got)
+	}
+	if got := getRuns(t, srv, id, "?engine=asd"); len(got) != 8 {
+		t.Errorf("engine=asd rows = %d, want 8 (default engine)", len(got))
+	}
+	if got := getRuns(t, srv, id, "?engine=next-line"); len(got) != 0 {
+		t.Errorf("engine=next-line rows = %d, want 0", len(got))
+	}
+	if got := getRuns(t, srv, id, "?bench=GemsFDTD&mode=NP"); len(got) != 1 {
+		t.Errorf("combined filter rows = %d, want 1", len(got))
+	}
+	if got := getRuns(t, srv, id, "?after=no-such-key"); len(got) != 0 {
+		t.Errorf("unknown cursor rows = %d, want empty page", len(got))
+	}
+
+	r, err := http.Get(srv.URL + "/jobs/" + id + "?limit=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d, want 400", r.StatusCode)
+	}
+}
+
+// The job list paginates in creation order with the same cursor scheme.
+func TestServerJobListPagination(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submitAndFinish(t, srv, Matrix{Benchmarks: []string{"GemsFDTD"}, Budget: 1000}))
+	}
+
+	r, err := http.Get(srv.URL + "/jobs?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1 := decode[[]jobSummary](t, r)
+	if len(page1) != 2 || page1[0].ID != ids[0] || page1[1].ID != ids[1] {
+		t.Fatalf("page 1 = %+v, want %v", page1, ids[:2])
+	}
+	r, err = http.Get(srv.URL + "/jobs?limit=2&after=" + page1[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2 := decode[[]jobSummary](t, r)
+	if len(page2) != 1 || page2[0].ID != ids[2] {
+		t.Fatalf("page 2 = %+v, want [%s]", page2, ids[2])
+	}
+}
+
+// ?format=outcomes returns the canonical comparison set: sorted,
+// stripped of wall-clock noise, and decodable as CanonicalOutcome.
+func TestServerOutcomesFormat(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(500 + uint64(s.Mode)), nil
+	})
+	id := submitAndFinish(t, srv, Matrix{Benchmarks: []string{"GemsFDTD", "milc"}, Budget: 5000})
+
+	r, err := http.Get(srv.URL + "/jobs/" + id + "?format=outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := decode[[]CanonicalOutcome](t, r)
+	if len(canon) != 8 {
+		t.Fatalf("canonical outcomes = %d, want 8", len(canon))
+	}
+	for i := 1; i < len(canon); i++ {
+		a, b := canon[i-1], canon[i]
+		if a.Benchmark > b.Benchmark || (a.Benchmark == b.Benchmark && a.Mode > b.Mode) {
+			t.Fatalf("canonical order broken at %d: %s/%s after %s/%s", i, b.Benchmark, b.Mode, a.Benchmark, a.Mode)
+		}
+	}
+	for _, c := range canon {
+		if c.Key == "" || c.Result == nil {
+			t.Fatalf("canonical outcome incomplete: %+v", c)
+		}
+	}
+}
+
+// fakeClusterRunner wraps a pool with a canned fleet snapshot, standing
+// in for a cluster.Coordinator (which farm's tests cannot import).
+type fakeClusterRunner struct {
+	pool *Pool
+	snap ClusterSnapshot
+}
+
+func (f *fakeClusterRunner) RunBatch(ctx context.Context, specs []Spec, store *Store, onDone func(Outcome)) ([]Outcome, error) {
+	return f.pool.RunBatch(ctx, specs, store, onDone)
+}
+func (f *fakeClusterRunner) Metrics() *Metrics                { return f.pool.Metrics() }
+func (f *fakeClusterRunner) Workers() int                     { return f.pool.Workers() }
+func (f *fakeClusterRunner) ClusterSnapshot() ClusterSnapshot { return f.snap }
+
+// A cluster-backed server exposes the cluster_* families on the
+// Prometheus endpoint — and the whole payload stays grammatical.
+func TestServerClusterMetricFamilies(t *testing.T) {
+	pool := New(Options{Workers: 2, Run: func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	}})
+	defer pool.Close()
+	runner := &fakeClusterRunner{pool: pool, snap: ClusterSnapshot{
+		Workers: 3, TasksPending: 2, LeasesActive: 1,
+		LeaseExpirations: 4, Steals: 2, LateResults: 1, Completed: 10,
+		Store: &StoreStats{Segmented: true, Segments: 2, Entries: 10, CacheHits: 7, CacheMisses: 3, Compactions: 1},
+	}}
+	srv := httptest.NewServer(NewServerFor(runner, nil).Handler())
+	defer srv.Close()
+
+	r, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	payload, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prom.Lint(payload); err != nil {
+		t.Fatalf("prometheus payload fails lint: %v\n%s", err, payload)
+	}
+	for _, family := range []string{
+		"cluster_workers", "cluster_tasks_pending", "cluster_leases_active",
+		"cluster_lease_expirations_total", "cluster_steals_total",
+		"cluster_late_results_total", "cluster_completed_total",
+		"cluster_store_cache_hits_total", "cluster_store_cache_misses_total",
+	} {
+		if !strings.Contains(string(payload), "\n"+family) {
+			t.Errorf("family %s missing from scrape payload", family)
+		}
+	}
+
+	// The JSON view and the SSE payload carry the same snapshot.
+	r, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := decode[struct {
+		Cluster *ClusterSnapshot `json:"cluster"`
+	}](t, r)
+	if mv.Cluster == nil || mv.Cluster.Workers != 3 || mv.Cluster.Store.CacheHits != 7 {
+		t.Fatalf("JSON metrics cluster view = %+v", mv.Cluster)
+	}
+}

@@ -10,11 +10,12 @@ import (
 // eventsPayload is one SSE frame's body: the pool snapshot plus every
 // job's live progress, gains, sparkline and anomalies.
 type eventsPayload struct {
-	Snapshot  Snapshot     `json:"snapshot"`
-	Jobs      []eventsJob  `json:"jobs"`
-	Sparks    []Spark      `json:"sparks,omitempty"`
-	Anomalies []Anomaly    `json:"anomalies,omitempty"`
-	Latency   *latencyView `json:"latency,omitempty"`
+	Snapshot  Snapshot         `json:"snapshot"`
+	Jobs      []eventsJob      `json:"jobs"`
+	Sparks    []Spark          `json:"sparks,omitempty"`
+	Anomalies []Anomaly        `json:"anomalies,omitempty"`
+	Latency   *latencyView     `json:"latency,omitempty"`
+	Cluster   *ClusterSnapshot `json:"cluster,omitempty"`
 }
 
 type eventsJob struct {
@@ -40,7 +41,7 @@ func (s *Server) eventsFrame() eventsPayload {
 	}
 	s.mu.Unlock()
 
-	p := eventsPayload{Snapshot: s.pool.Metrics().Snapshot(), Jobs: make([]eventsJob, 0, len(jobs))}
+	p := eventsPayload{Snapshot: s.runner.Metrics().Snapshot(), Jobs: make([]eventsJob, 0, len(jobs))}
 	for _, j := range jobs {
 		j.mu.Lock()
 		outcomes := append([]Outcome(nil), j.outcomes...)
@@ -48,13 +49,14 @@ func (s *Server) eventsFrame() eventsPayload {
 		_, gains := runsAndGains(outcomes)
 		p.Jobs = append(p.Jobs, eventsJob{jobSummary: j.summary(), Gains: gains})
 	}
-	if p50, p95, max, n := s.pool.Metrics().LatencySummary(); n > 0 {
+	if p50, p95, max, n := s.runner.Metrics().LatencySummary(); n > 0 {
 		p.Latency = &latencyView{P50: p50, P95: p95, Max: max, N: n}
 	}
 	if s.telemetry != nil {
 		p.Sparks = s.telemetry.Sparks()
 		p.Anomalies = s.telemetry.Anomalies()
 	}
+	p.Cluster = s.clusterSnapshot()
 	return p
 }
 

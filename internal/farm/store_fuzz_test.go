@@ -1,0 +1,50 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSegmentDecode drives the segment scanner — the parser that
+// rebuilds a store's index from arbitrary on-disk bytes — with hostile
+// input: it must never panic, every entry it returns must carry valid
+// bounds that re-decode to an outcome with the same key, and a torn
+// tail may only ever be reported for the append-target (final) scan.
+func FuzzSegmentDecode(f *testing.F) {
+	ok, _ := json.Marshal(okOutcome("GemsFDTD", 123))
+	bad, _ := json.Marshal(failedOutcome("milc"))
+	whole := append(append(append([]byte{}, ok...), '\n'), append(bad, '\n')...)
+	f.Add(whole, true)
+	f.Add(whole, false)
+	f.Add(append(append([]byte{}, whole...), ok[:len(ok)/2]...), true) // torn tail
+	f.Add([]byte("\n\n  \n"), true)
+	f.Add([]byte("{}\n"), false)
+	f.Add([]byte("not json\n"), true)
+	f.Add([]byte(nil), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, final bool) {
+		entries, torn, err := scanSegment(data, final)
+		if err != nil {
+			return // rejected input; the open fails cleanly
+		}
+		if torn && !final {
+			t.Fatal("torn tail reported for a sealed segment")
+		}
+		prevEnd := int64(0)
+		for i, e := range entries {
+			if e.off < prevEnd || e.n <= 0 || e.off+e.n > int64(len(data)) {
+				t.Fatalf("entry %d has bad bounds off=%d n=%d (len %d, prev end %d)",
+					i, e.off, e.n, len(data), prevEnd)
+			}
+			prevEnd = e.off + e.n
+			var o Outcome
+			if uerr := json.Unmarshal(bytes.TrimSpace(data[e.off:e.off+e.n]), &o); uerr != nil {
+				t.Fatalf("entry %d does not re-decode: %v", i, uerr)
+			}
+			if o.Key != e.key || o.OK() != e.ok {
+				t.Fatalf("entry %d disagrees with its line: entry %+v outcome %+v", i, e, o)
+			}
+		}
+	})
+}

@@ -24,6 +24,10 @@ map iteration, and goroutine spawns inside the simulation packages`,
 		"asdsim/internal/slh",
 		"asdsim/internal/stream",
 		"asdsim/internal/prefetch",
+		// The cluster coordinator must schedule identically however
+		// requests interleave: no goroutines of its own, no wall-clock
+		// reads outside the injected Options.Now, no map-order effects.
+		"asdsim/internal/cluster",
 	),
 	Run: runDeterminism,
 }

@@ -23,6 +23,10 @@ nil-receiver guards on hot probe-bus methods`,
 		"asdsim/internal/obs",
 		"asdsim/internal/obs/flightrec",
 		"asdsim/internal/farm",
+		// Coordinator/worker telemetry recorders run inside the lease
+		// request path; they must stay lock- and channel-free.
+		"asdsim/internal/cluster",
+		"asdsim/internal/cluster/rpc",
 	),
 	Run: runNoperturb,
 }
