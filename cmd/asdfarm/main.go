@@ -8,7 +8,8 @@
 //	            [-engine asd|next-line|p5-style|ghb] [-threads N]
 //	            [-budget N] [-seed N] [-derive-seeds] [-workers N]
 //	            [-timeout D] [-retries N] [-out results.jsonl]
-//	            [-outcomes canon.json] [-cluster http://host:8465] [-quiet]
+//	            [-outcomes canon.json] [-cluster http://host:8465]
+//	            [-trace trace.json] [-quiet]
 //	asdfarm serve [-role local|coordinator|worker] [-addr :8465]
 //	              [-workers N] [-out path] [-coordinator URL]
 //	              [-lease-ttl D] [-worker-ttl D] [-name label]
@@ -39,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -46,16 +48,24 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"asdsim/internal/cluster"
 	"asdsim/internal/cluster/rpc"
 	"asdsim/internal/farm"
+	"asdsim/internal/obs"
+	"asdsim/internal/obs/span"
 	"asdsim/internal/report"
 	"asdsim/internal/sim"
 	"asdsim/internal/stats"
 )
+
+// logger is the process-wide structured logger: human-readable
+// key=value records on stderr, coexisting with the progress meter
+// (which stays a meter, not a log).
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	if len(os.Args) < 2 {
@@ -112,6 +122,7 @@ func runBatch(args []string) {
 	out := fs.String("out", "", "results store (file or directory); enables persistence and resume")
 	outcomes := fs.String("outcomes", "", "write the canonical outcome set (sorted JSON, wall-clock-free) here")
 	clusterURL := fs.String("cluster", "", "coordinator base URL; run the matrix on the distributed farm")
+	tracePath := fs.String("trace", "", "write a Perfetto/Chrome trace of the batch here (with -cluster: the coordinator's merged distributed trace)")
 	quiet := fs.Bool("quiet", false, "suppress the progress meter")
 	fs.Parse(args)
 
@@ -133,7 +144,7 @@ func runBatch(args []string) {
 	}
 
 	if *clusterURL != "" {
-		runOnCluster(*clusterURL, m, len(specs), *outcomes, *quiet)
+		runOnCluster(*clusterURL, m, len(specs), *outcomes, *tracePath, *quiet)
 		return
 	}
 
@@ -144,12 +155,84 @@ func runBatch(args []string) {
 		}
 		defer store.Close()
 		if n := store.Completed(); n > 0 {
-			fmt.Fprintf(os.Stderr, "asdfarm: resuming: %d completed runs already in %s\n", n, *out)
+			logger.Info("resuming from store", "completed", n, "store", *out)
 		}
 	}
 
-	pool := farm.New(farm.Options{Workers: *workers})
+	opts := farm.Options{Workers: *workers}
+	var bt *batchTracer
+	if *tracePath != "" {
+		bt = newBatchTracer()
+		opts.Instrument = bt.instrument
+	}
+	pool := farm.New(opts)
 	runMatrix(pool, specs, store, *outcomes, *quiet)
+	if bt != nil {
+		if err := bt.write(*tracePath, specs); err != nil {
+			fatal(err)
+		}
+		logger.Info("batch trace written", "path", *tracePath, "spans", bt.rec.Len())
+	}
+}
+
+// batchTracer implements the local -trace path: every attempt gets a
+// farm-level span plus a private sim-level Chrome-trace sink, and the
+// final file merges both — the span timeline in front, one child
+// process per run's cycle-level trace behind it.
+type batchTracer struct {
+	rec *span.Recorder
+
+	mu   sync.Mutex
+	sims []*obs.TraceBuilder
+}
+
+func newBatchTracer() *batchTracer {
+	return &batchTracer{rec: span.NewRecorder("local", time.Now)}
+}
+
+// instrument is a farm Options.Instrument hook.
+func (b *batchTracer) instrument(spec farm.Spec) (*obs.Bus, func(res *sim.Result, err error)) {
+	key := spec.Key()
+	traceID := span.TraceIDFromKey(key)
+	run := b.rec.Start(traceID, 0, "run", key,
+		span.Attr{Key: "benchmark", Value: spec.Benchmark},
+		span.Attr{Key: "mode", Value: spec.Mode.String()})
+	tb := obs.NewTraceBuilder()
+	tb.StartProcess("sim " + spec.Benchmark + "/" + spec.Mode.String())
+	fin := func(res *sim.Result, err error) {
+		status := "ok"
+		if err != nil {
+			status = "failed"
+		}
+		run.End(span.Attr{Key: "status", Value: status})
+		b.mu.Lock()
+		b.sims = append(b.sims, tb)
+		b.mu.Unlock()
+	}
+	return obs.NewBus(tb), fin
+}
+
+// write renders the merged batch trace to path.
+func (b *batchTracer) write(path string, specs []farm.Spec) error {
+	keys := make([]string, len(specs))
+	for i := range specs {
+		keys[i] = specs[i].Key()
+	}
+	batch := span.BuildTrace(b.rec.SpansFor(keys))
+	b.mu.Lock()
+	for _, tb := range b.sims {
+		batch.Merge(tb)
+	}
+	b.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := batch.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeOutcomes renders the canonical comparison set to path.
@@ -171,7 +254,7 @@ func writeOutcomes(path string, outcomes []farm.Outcome) {
 // to completion, and fetches the canonical outcome set — which is
 // byte-identical to what a local -outcomes run writes, because every
 // simulation is a pure function of its spec.
-func runOnCluster(base string, m farm.Matrix, total int, outcomesPath string, quiet bool) {
+func runOnCluster(base string, m farm.Matrix, total int, outcomesPath, tracePath string, quiet bool) {
 	base = strings.TrimRight(base, "/")
 	body, err := json.Marshal(m)
 	if err != nil {
@@ -193,7 +276,7 @@ func runOnCluster(base string, m farm.Matrix, total int, outcomesPath string, qu
 	if resp.StatusCode != http.StatusAccepted {
 		fatal(fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, sub.Error))
 	}
-	fmt.Fprintf(os.Stderr, "asdfarm: job %s submitted to %s (%d runs)\n", sub.ID, base, total)
+	logger.Info("job submitted", "job", sub.ID, "coordinator", base, "runs", total)
 
 	start := time.Now()
 	var st struct {
@@ -203,16 +286,39 @@ func runOnCluster(base string, m farm.Matrix, total int, outcomesPath string, qu
 			Failed int    `json:"failed"`
 			Total  int    `json:"total"`
 		} `json:"job"`
+		LeaseEvents []struct {
+			Seq    int64  `json:"seq"`
+			Event  string `json:"event"`
+			Key    string `json:"key"`
+			Worker string `json:"worker"`
+		} `json:"lease_events"`
 	}
+	var lastSeq int64
 	for {
 		r, err := http.Get(base + "/jobs/" + sub.ID + "?limit=1")
 		if err != nil {
 			fatal(err)
 		}
+		st.LeaseEvents = st.LeaseEvents[:0]
 		err = json.NewDecoder(r.Body).Decode(&st)
 		r.Body.Close()
 		if err != nil {
 			fatal(err)
+		}
+		for _, ev := range st.LeaseEvents {
+			if ev.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = ev.Seq
+			// Completions are the progress meter's job; surface the
+			// lease transitions that explain stalls and reruns.
+			if ev.Event == "complete" {
+				continue
+			}
+			if !quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			logger.Info("lease "+ev.Event, "job", sub.ID, "key", short(ev.Key), "worker", ev.Worker)
 		}
 		if !quiet {
 			elapsed := time.Since(start).Seconds()
@@ -229,6 +335,25 @@ func runOnCluster(base string, m farm.Matrix, total int, outcomesPath string, qu
 	}
 	if !quiet {
 		fmt.Fprintln(os.Stderr)
+	}
+
+	if tracePath != "" {
+		r, err := http.Get(base + "/jobs/" + sub.ID + "?format=trace")
+		if err != nil {
+			fatal(err)
+		}
+		trace, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("trace export: HTTP %d: %s", r.StatusCode, trace))
+		}
+		if err := os.WriteFile(tracePath, trace, 0o644); err != nil {
+			fatal(err)
+		}
+		logger.Info("distributed trace written", "path", tracePath, "bytes", len(trace))
 	}
 
 	r, err := http.Get(base + "/jobs/" + sub.ID + "?format=outcomes")
@@ -461,6 +586,7 @@ func serveLocal(addr string, workers int, store *farm.Store, pprofOn, observe bo
 		opts.Instrument = tel.Instrument
 	}
 	pool := farm.New(opts)
+	pool.Metrics().AttachSLO(farm.NewSLOTracker(farm.SLOConfig{}, nil))
 
 	api := farm.NewServer(pool, store)
 	if tel != nil {
@@ -469,7 +595,7 @@ func serveLocal(addr string, workers int, store *farm.Store, pprofOn, observe bo
 	if pprofOn {
 		api.EnablePprof()
 	}
-	fmt.Fprintf(os.Stderr, "asdfarm: serving on %s with %d workers\n", addr, pool.Workers())
+	logger.Info("serving", "addr", addr, "workers", pool.Workers())
 	serveHTTP(addr, api, api.Handler())
 	pool.Close()
 }
@@ -478,7 +604,9 @@ func serveLocal(addr string, workers int, store *farm.Store, pprofOn, observe bo
 // regular job API backed by the worker fleet, plus the lease protocol
 // endpoint the workers speak.
 func serveCoordinator(addr string, store *farm.Store, leaseTTL, workerTTL time.Duration, pprofOn bool) {
-	coord := cluster.New(cluster.Options{LeaseTTL: leaseTTL, WorkerTTL: workerTTL, Store: store})
+	coord := cluster.New(cluster.Options{LeaseTTL: leaseTTL, WorkerTTL: workerTTL, Store: store,
+		Logger: logger.With("role", "coordinator")})
+	coord.Metrics().AttachSLO(farm.NewSLOTracker(farm.SLOConfig{}, nil))
 	api := farm.NewServerFor(coord, store)
 	if pprofOn {
 		api.EnablePprof()
@@ -486,7 +614,7 @@ func serveCoordinator(addr string, store *farm.Store, leaseTTL, workerTTL time.D
 	mux := http.NewServeMux()
 	mux.Handle(rpc.Route, rpc.Handler(coord))
 	mux.Handle("/", api.Handler())
-	fmt.Fprintf(os.Stderr, "asdfarm: coordinating on %s (lease TTL %s, worker TTL %s)\n", addr, leaseTTL, workerTTL)
+	logger.Info("coordinating", "addr", addr, "lease_ttl", leaseTTL, "worker_ttl", workerTTL)
 	serveHTTP(addr, api, mux)
 }
 
@@ -496,10 +624,12 @@ func serveWorker(coordURL string, slots int, name string, observe bool) {
 	if name == "" {
 		name, _ = os.Hostname()
 	}
+	wlog := logger.With("role", "worker", "worker", name)
 	opts := farm.Options{Workers: slots}
 	var tel *farm.Telemetry
 	if observe {
 		tel = farm.NewTelemetry()
+		tel.Node = name
 		opts.Instrument = tel.Instrument
 	}
 	pool := farm.New(opts)
@@ -507,20 +637,20 @@ func serveWorker(coordURL string, slots int, name string, observe bool) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	w := &cluster.Worker{Transport: rpc.New(strings.TrimRight(coordURL, "/")), Pool: pool, Name: name}
-	fmt.Fprintf(os.Stderr, "asdfarm: worker %q joining %s with %d slots\n", name, coordURL, slots)
+	w := &cluster.Worker{Transport: rpc.New(strings.TrimRight(coordURL, "/")), Pool: pool, Name: name,
+		Spans: span.NewRecorder(name, time.Now), Logger: wlog}
+	wlog.Info("joining coordinator", "coordinator", coordURL, "slots", slots)
 	errs := make(chan error, slots)
 	for i := 0; i < slots; i++ {
 		go func() { errs <- w.Run(ctx) }()
 	}
 	for i := 0; i < slots; i++ {
 		if err := <-errs; err != nil && !errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "asdfarm: worker:", err)
+			wlog.Error("lease loop failed", "err", err)
 		}
 	}
 	st := w.Stats()
-	fmt.Fprintf(os.Stderr, "asdfarm: worker done: %d acquired, %d completed, %d expired\n",
-		st.Acquired(), st.Completed(), st.Expired())
+	wlog.Info("worker done", "acquired", st.Acquired(), "completed", st.Completed(), "expired", st.Expired())
 }
 
 // serveHTTP runs one HTTP server with the shared graceful-shutdown
@@ -532,7 +662,7 @@ func serveHTTP(addr string, api *farm.Server, handler http.Handler) {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "asdfarm: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		api.Shutdown(shutdownCtx)
@@ -541,6 +671,14 @@ func serveHTTP(addr string, api *farm.Server, handler http.Handler) {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+}
+
+// short abbreviates a 64-hex spec key for log lines.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 func fatal(err error) {

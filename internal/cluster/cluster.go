@@ -21,11 +21,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"asdsim/internal/farm"
+	"asdsim/internal/obs/span"
 )
 
 // Options configures a Coordinator.
@@ -48,6 +51,10 @@ type Options struct {
 	// Now is the injected clock; the default is the system clock. Tests
 	// substitute a fake to drive expiry deterministically.
 	Now func() time.Time
+	// Logger receives structured lifecycle records (worker join/leave,
+	// steals, late results, task failures) with trace-ID/worker/key
+	// fields. Optional; nil disables logging.
+	Logger *slog.Logger
 }
 
 // New builds a Coordinator.
@@ -69,9 +76,11 @@ func New(opts Options) *Coordinator {
 	}
 	return &Coordinator{
 		opts:    opts,
+		spans:   span.NewRecorder("coordinator", opts.Now),
 		workers: make(map[string]*workerState),
 		tasks:   make(map[string]*ctask),
 		leases:  make(map[string]*lease),
+		fleet:   make(map[string]*workerHealth),
 	}
 }
 
@@ -81,6 +90,7 @@ func New(opts Options) *Coordinator {
 type Coordinator struct {
 	opts     Options
 	counters counters
+	spans    *span.Recorder
 
 	mu       sync.Mutex
 	seq      int64 // id source for workers and leases
@@ -89,6 +99,45 @@ type Coordinator struct {
 	pending  []string          // spec keys awaiting a lease, FIFO
 	leases   map[string]*lease
 	storeErr error // first store write failure, reported by RunBatch
+
+	// fleet retains the last-known federation state per worker id,
+	// including workers whose liveness has expired, so a mid-run kill
+	// stays visible on /metrics and the dashboard.
+	fleet  map[string]*workerHealth
+	events leaseEventLog
+}
+
+// workerHealth is one worker's retained federation state.
+type workerHealth struct {
+	id, name string
+	up       bool
+	lastBeat time.Time
+	snap     *WorkerSnapshot
+}
+
+// maxFleetEntries bounds the retained per-worker federation map; the
+// oldest dead entries are evicted beyond it.
+const maxFleetEntries = 64
+
+// leaseEventLog is a fixed-size ring of recent lease transitions,
+// consumed by the SSE stream and the job-status lease feed. Guarded by
+// the coordinator mutex.
+type leaseEventLog struct {
+	seq int64
+	buf []farm.LeaseEvent
+}
+
+const maxLeaseEvents = 256
+
+func (l *leaseEventLog) add(now time.Time, event, key, worker string) {
+	l.seq++
+	e := farm.LeaseEvent{Seq: l.seq, Event: event, Key: key, Worker: worker, AtUS: now.UnixMicro()}
+	if len(l.buf) >= maxLeaseEvents {
+		copy(l.buf, l.buf[1:])
+		l.buf[len(l.buf)-1] = e
+		return
+	}
+	l.buf = append(l.buf, e)
 }
 
 // workerState is one registered node.
@@ -115,6 +164,11 @@ type ctask struct {
 	lastWorker string // previous lease holder; a different next holder is a steal
 	losses     int    // leases lost to expiry or worker death
 	waiters    []waiterRef
+
+	// root is the job-lifecycle span, opened at first submission and
+	// closed when the terminal outcome lands (or the batch cancels).
+	root    *span.Active
+	traceID string
 }
 
 // lease is one outstanding grant.
@@ -123,6 +177,11 @@ type lease struct {
 	key    string
 	worker string
 	expiry time.Time
+
+	// sp is the lease span, recorded under the holder's name so a
+	// worker that dies mid-lease still appears in the merged trace.
+	sp       *span.Active
+	renewals int
 }
 
 // waiterRef points at one slot of one waiting batch.
@@ -186,6 +245,61 @@ func (b *batch) abandon() []farm.Outcome {
 // ms renders a duration for the wire.
 func ms(d time.Duration) int64 { return int64(d / time.Millisecond) }
 
+// workerLabelLocked returns the human label for a worker id: its
+// registered name when known (live or retained), else the id itself.
+func (c *Coordinator) workerLabelLocked(id string) string {
+	if w := c.workers[id]; w != nil && w.name != "" {
+		return w.name
+	}
+	if h := c.fleet[id]; h != nil && h.name != "" {
+		return h.name
+	}
+	return id
+}
+
+// touchFleetLocked refreshes a worker's federation entry, evicting the
+// oldest dead entries past the retention bound.
+func (c *Coordinator) touchFleetLocked(id, name string, now time.Time, snap *WorkerSnapshot) {
+	h := c.fleet[id]
+	if h == nil {
+		if len(c.fleet) >= maxFleetEntries {
+			ids := make([]string, 0, len(c.fleet))
+			for fid := range c.fleet {
+				ids = append(ids, fid)
+			}
+			sort.Slice(ids, func(a, b int) bool {
+				if len(ids[a]) != len(ids[b]) {
+					return len(ids[a]) < len(ids[b])
+				}
+				return ids[a] < ids[b]
+			})
+			for _, fid := range ids {
+				if !c.fleet[fid].up {
+					delete(c.fleet, fid)
+					break
+				}
+			}
+		}
+		h = &workerHealth{id: id}
+		c.fleet[id] = h
+	}
+	if name != "" {
+		h.name = name
+	}
+	h.up = true
+	h.lastBeat = now
+	if snap != nil {
+		h.snap = snap
+	}
+}
+
+// logInfo emits one structured record when a logger is configured.
+func (c *Coordinator) logInfo(msg string, args ...any) {
+	if c.opts.Logger != nil {
+		c.opts.Logger.Info(msg, args...)
+	}
+}
+
 // Metrics returns the coordinator's counters (farm.Runner).
 func (c *Coordinator) Metrics() *farm.Metrics { return c.opts.Metrics }
 
@@ -214,6 +328,39 @@ func (c *Coordinator) ClusterSnapshot() farm.ClusterSnapshot {
 		Steals:           c.counters.steals.Load(),
 		LateResults:      c.counters.late.Load(),
 		Completed:        c.counters.completed.Load(),
+		LeaseEvents:      append([]farm.LeaseEvent(nil), c.events.buf...),
+	}
+	leasesByWorker := make(map[string]int, len(c.workers))
+	lids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		lids = append(lids, id)
+	}
+	sort.Strings(lids)
+	for _, id := range lids {
+		leasesByWorker[c.leases[id].worker]++
+	}
+	fids := make([]string, 0, len(c.fleet))
+	for id := range c.fleet {
+		fids = append(fids, id)
+	}
+	sort.Slice(fids, func(a, b int) bool {
+		if len(fids[a]) != len(fids[b]) {
+			return len(fids[a]) < len(fids[b])
+		}
+		return fids[a] < fids[b]
+	})
+	for _, id := range fids {
+		h := c.fleet[id]
+		wh := farm.WorkerHealth{
+			ID: h.id, Name: h.name, Up: h.up,
+			HeartbeatAgeSec: now.Sub(h.lastBeat).Seconds(),
+			Leases:          leasesByWorker[id],
+		}
+		if h.snap != nil {
+			pool, wall := h.snap.Pool, h.snap.Wall
+			wh.Pool, wh.Wall = &pool, &wall
+		}
+		snap.Fleet = append(snap.Fleet, wh)
 	}
 	c.mu.Unlock()
 	deliverAll(ds)
@@ -222,6 +369,13 @@ func (c *Coordinator) ClusterSnapshot() farm.ClusterSnapshot {
 		snap.Store = &st
 	}
 	return snap
+}
+
+// Spans returns the collected spans for the given spec keys
+// (farm.TraceSource): the coordinator's own lifecycle spans plus every
+// worker span shipped back with completions.
+func (c *Coordinator) Spans(keys []string) []span.Span {
+	return c.spans.SpansFor(keys)
 }
 
 // Register admits a worker and hands it the timing contract.
@@ -236,9 +390,11 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	c.seq++
 	w := &workerState{id: fmt.Sprintf("w-%d", c.seq), name: req.Name, expiry: now.Add(c.opts.WorkerTTL)}
 	c.workers[w.id] = w
+	c.touchFleetLocked(w.id, w.name, now, nil)
 	c.updateGaugesLocked()
 	c.mu.Unlock()
 	deliverAll(ds)
+	c.logInfo("worker registered", "worker", req.Name, "worker_id", w.id)
 	return RegisterResponse{
 		WorkerID:    w.id,
 		LeaseTTLMS:  ms(c.opts.LeaseTTL),
@@ -259,6 +415,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 		return HeartbeatResponse{}, fmt.Errorf("%w: %q", ErrUnknownWorker, req.WorkerID)
 	}
 	w.expiry = now.Add(c.opts.WorkerTTL)
+	c.touchFleetLocked(w.id, w.name, now, req.Stats)
 	held := 0
 	lids := make([]string, 0, len(c.leases))
 	for id := range c.leases {
@@ -268,6 +425,11 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 	for _, id := range lids {
 		if l := c.leases[id]; l.worker == w.id {
 			l.expiry = now.Add(c.opts.LeaseTTL)
+			l.renewals++
+			if l.sp != nil {
+				c.spans.Event(span.TraceIDFromKey(l.key), l.sp.ID(), "renew", l.key,
+					span.Attr{Key: "lease", Value: l.id})
+			}
 			held++
 		}
 	}
@@ -290,6 +452,7 @@ func (c *Coordinator) Acquire(req AcquireRequest) (AcquireResponse, error) {
 		return AcquireResponse{}, fmt.Errorf("%w: %q", ErrUnknownWorker, req.WorkerID)
 	}
 	w.expiry = now.Add(c.opts.WorkerTTL)
+	c.touchFleetLocked(w.id, w.name, now, nil)
 
 	var t *ctask
 	for len(c.pending) > 0 && t == nil {
@@ -309,18 +472,42 @@ func (c *Coordinator) Acquire(req AcquireRequest) (AcquireResponse, error) {
 	l := &lease{id: fmt.Sprintf("l-%d", c.seq), key: t.key, worker: w.id, expiry: now.Add(c.opts.LeaseTTL)}
 	c.leases[l.id] = l
 	t.state = taskLeased
-	if t.lastWorker != "" && t.lastWorker != w.id {
+	label := c.workerLabelLocked(w.id)
+	stolen := t.lastWorker != "" && t.lastWorker != w.id
+	if stolen {
 		c.counters.noteSteal()
+		c.spans.Event(t.traceID, rootID(t), "steal", t.key,
+			span.Attr{Key: "from", Value: c.workerLabelLocked(t.lastWorker)},
+			span.Attr{Key: "to", Value: label})
+		c.events.add(now, "steal", t.key, label)
+	} else {
+		c.events.add(now, "grant", t.key, label)
 	}
+	l.sp = c.spans.StartOn(label, t.traceID, rootID(t), "lease", t.key,
+		span.Attr{Key: "lease", Value: l.id})
 	t.lastWorker = w.id
 	resp := AcquireResponse{
-		Grant:   &Grant{LeaseID: l.id, Key: t.key, Spec: t.spec, TTLMS: ms(c.opts.LeaseTTL)},
+		Grant: &Grant{LeaseID: l.id, Key: t.key, Spec: t.spec, TTLMS: ms(c.opts.LeaseTTL),
+			Trace: &span.Context{TraceID: t.traceID, Parent: l.sp.ID()}},
 		Pending: len(c.pending),
 	}
 	c.updateGaugesLocked()
 	c.mu.Unlock()
 	deliverAll(ds)
+	if stolen {
+		c.logInfo("lease stolen", "key", t.key, "trace_id", t.traceID, "worker", label, "lease", l.id)
+	}
 	return resp, nil
+}
+
+// rootID returns the job span id of t, zero when tracing never opened
+// one (a task created before spans existed cannot occur today, but the
+// guard keeps the call total).
+func rootID(t *ctask) span.ID {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.ID()
 }
 
 // Complete accepts a leased task's outcome: persists it, feeds the
@@ -338,9 +525,16 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 	l := c.leases[req.LeaseID]
 	if l == nil || l.worker != req.WorkerID {
 		c.counters.noteLate()
+		label := c.workerLabelLocked(req.WorkerID)
+		c.spans.Event(span.TraceIDFromKey(req.Outcome.Key), 0, "late-result", req.Outcome.Key,
+			span.Attr{Key: "worker", Value: label},
+			span.Attr{Key: "lease", Value: req.LeaseID})
+		c.events.add(now, "late", req.Outcome.Key, label)
 		c.updateGaugesLocked()
 		c.mu.Unlock()
 		deliverAll(ds)
+		c.logInfo("late result rejected", "key", req.Outcome.Key,
+			"trace_id", span.TraceIDFromKey(req.Outcome.Key), "worker", label, "lease", req.LeaseID)
 		return CompleteResponse{}, fmt.Errorf("%w: lease %q", ErrLeaseExpired, req.LeaseID)
 	}
 	if req.Outcome.Key != l.key {
@@ -350,6 +544,17 @@ func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
 			ErrBadRequest, req.Outcome.Key, req.LeaseID, l.key)
 	}
 	delete(c.leases, l.id)
+	spans := req.Spans
+	if len(spans) > maxSpansPerComplete {
+		spans = spans[:maxSpansPerComplete]
+	}
+	c.spans.Ingest(spans)
+	label := c.workerLabelLocked(req.WorkerID)
+	if l.sp != nil {
+		l.sp.End(span.Attr{Key: "status", Value: "completed"},
+			span.Attr{Key: "renewals", Value: strconv.Itoa(l.renewals)})
+	}
+	c.events.add(now, "complete", l.key, label)
 	t := c.tasks[l.key]
 	if t != nil {
 		ds = append(ds, c.finishTaskLocked(t, req.Outcome))
@@ -370,6 +575,15 @@ func (c *Coordinator) finishTaskLocked(t *ctask, o farm.Outcome) delivery {
 	}
 	c.opts.Metrics.RecordOutcome(&t.spec, &o)
 	c.counters.noteCompleted()
+	if t.root != nil {
+		status := "ok"
+		if o.Err != "" {
+			status = "failed"
+		}
+		t.root.End(span.Attr{Key: "status", Value: status},
+			span.Attr{Key: "attempts", Value: strconv.Itoa(o.Attempts)})
+		t.root = nil
+	}
 	delete(c.tasks, t.key)
 	return delivery{refs: t.waiters, o: o}
 }
@@ -388,6 +602,10 @@ func (c *Coordinator) sweepLocked(now time.Time) []delivery {
 	for _, id := range wids {
 		if now.After(c.workers[id].expiry) {
 			delete(c.workers, id)
+			if h := c.fleet[id]; h != nil {
+				h.up = false
+			}
+			c.logInfo("worker deregistered", "worker", c.workerLabelLocked(id), "worker_id", id)
 		}
 	}
 
@@ -404,10 +622,21 @@ func (c *Coordinator) sweepLocked(now time.Time) []delivery {
 		}
 		delete(c.leases, id)
 		c.counters.noteExpiration()
+		label := c.workerLabelLocked(l.worker)
+		if l.sp != nil {
+			l.sp.End(span.Attr{Key: "status", Value: "expired"},
+				span.Attr{Key: "renewals", Value: strconv.Itoa(l.renewals)})
+		}
+		c.events.add(now, "expire", l.key, label)
+		c.logInfo("lease expired", "key", l.key,
+			"trace_id", span.TraceIDFromKey(l.key), "worker", label, "lease", l.id)
 		t := c.tasks[l.key]
 		if t == nil || t.state != taskLeased {
 			continue
 		}
+		c.spans.Event(t.traceID, rootID(t), "expire", t.key,
+			span.Attr{Key: "worker", Value: label},
+			span.Attr{Key: "lease", Value: l.id})
 		t.losses++
 		t.lastWorker = l.worker
 		if t.losses >= c.opts.MaxLeaseLosses {
@@ -415,6 +644,9 @@ func (c *Coordinator) sweepLocked(now time.Time) []delivery {
 				Engine: t.spec.Config.Engine.String(), Seed: t.spec.Config.Seed,
 				Err:      fmt.Sprintf("cluster: lease lost %d times (workers keep dying mid-run)", t.losses),
 				Attempts: t.losses}
+			c.events.add(now, "fail", t.key, label)
+			c.logInfo("task failed: lease-loss budget exhausted", "key", t.key,
+				"trace_id", t.traceID, "losses", t.losses)
 			ds = append(ds, c.finishTaskLocked(t, o))
 			continue
 		}
@@ -454,18 +686,27 @@ func (c *Coordinator) RunBatch(ctx context.Context, specs []farm.Spec, store *fa
 	c.mu.Lock()
 	for i, spec := range specs {
 		key := spec.Key()
+		traceID := span.TraceIDFromKey(key)
 		if store != nil {
 			if prev, ok := store.Lookup(key); ok {
 				prev.Resumed = true
+				c.spans.Event(traceID, 0, "cache-hit", key)
 				resumed = append(resumed, resumedSlot{i, prev})
 				continue
 			}
 		}
 		t := c.tasks[key]
 		if t == nil {
-			t = &ctask{key: key, spec: spec, state: taskPending}
+			t = &ctask{key: key, spec: spec, state: taskPending, traceID: traceID}
+			t.root = c.spans.Start(traceID, 0, "job", key,
+				span.Attr{Key: "benchmark", Value: spec.Benchmark},
+				span.Attr{Key: "mode", Value: spec.Mode.String()},
+				span.Attr{Key: "engine", Value: spec.Config.Engine.String()})
+			c.spans.Event(traceID, t.root.ID(), "submit", key)
 			c.tasks[key] = t
 			c.pending = append(c.pending, key)
+		} else {
+			c.spans.Event(traceID, rootID(t), "coalesce", key)
 		}
 		t.waiters = append(t.waiters, waiterRef{b: b, i: i})
 	}
@@ -518,6 +759,10 @@ func (c *Coordinator) cancelBatch(b *batch) {
 		}
 		t.waiters = kept
 		if len(kept) == 0 && t.state == taskPending {
+			if t.root != nil {
+				t.root.End(span.Attr{Key: "status", Value: "cancelled"})
+				t.root = nil
+			}
 			delete(c.tasks, key)
 			drop[key] = true
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"asdsim/internal/farm"
+	"asdsim/internal/obs/span"
 	"asdsim/internal/sim"
 )
 
@@ -30,14 +31,27 @@ func seedMessages(t testing.TB) [][]byte {
 		encodeSeed(t, &Message{Kind: "register", Register: &RegisterRequest{Name: "node-3", Version: ProtocolVersion}}),
 		encodeSeed(t, &Message{Kind: "registered", Registered: &RegisterResponse{WorkerID: "w-1", LeaseTTLMS: 15000, HeartbeatMS: 3333}}),
 		encodeSeed(t, &Message{Kind: "heartbeat", Heartbeat: &HeartbeatRequest{WorkerID: "w-1"}}),
+		encodeSeed(t, &Message{Kind: "heartbeat", Heartbeat: &HeartbeatRequest{WorkerID: "w-1",
+			Stats: &WorkerSnapshot{
+				Pool: farm.Snapshot{Workers: 2, Completed: 9, SimInstructions: 360000000},
+				Wall: farm.WallSnapshot{Counts: []uint64{0, 0, 3, 6}, Sum: 4.25, Max: 1.7}}}}),
 		encodeSeed(t, &Message{Kind: "heartbeat_ok", HeartbeatOK: &HeartbeatResponse{Leases: 2}}),
 		encodeSeed(t, &Message{Kind: "acquire", Acquire: &AcquireRequest{WorkerID: "w-1"}}),
 		encodeSeed(t, &Message{Kind: "acquire_ok", AcquireOK: &AcquireResponse{
 			Grant: &Grant{LeaseID: "l-7", Key: spec.Key(), Spec: spec, TTLMS: 15000}, Pending: 4}}),
+		encodeSeed(t, &Message{Kind: "acquire_ok", AcquireOK: &AcquireResponse{
+			Grant: &Grant{LeaseID: "l-8", Key: spec.Key(), Spec: spec, TTLMS: 15000,
+				Trace: &span.Context{TraceID: span.TraceIDFromKey(spec.Key()), Parent: 0xfeedface}}}}),
 		encodeSeed(t, &Message{Kind: "acquire_ok", AcquireOK: &AcquireResponse{}}),
 		encodeSeed(t, &Message{Kind: "complete", Complete: &CompleteRequest{WorkerID: "w-1", LeaseID: "l-7",
 			Outcome: farm.Outcome{Key: spec.Key(), Benchmark: spec.Benchmark, Mode: spec.Mode,
 				Engine: spec.Config.Engine.String(), Seed: spec.Config.Seed, Result: &res, Attempts: 1}}}),
+		encodeSeed(t, &Message{Kind: "complete", Complete: &CompleteRequest{WorkerID: "w-2", LeaseID: "l-8",
+			Outcome: farm.Outcome{Key: spec.Key(), Benchmark: spec.Benchmark, Mode: spec.Mode,
+				Engine: spec.Config.Engine.String(), Seed: spec.Config.Seed, Result: &res, Attempts: 1},
+			Spans: []span.Span{{TraceID: span.TraceIDFromKey(spec.Key()), ID: 0xfeedface, Parent: 0xabad1dea,
+				Name: "execute", Node: "w2", Key: spec.Key(), StartUS: 1_700_000_000_000_000, DurUS: 2500,
+				Attrs: []span.Attr{{Key: "lease", Value: "l-8"}}}}}}),
 		encodeSeed(t, &Message{Kind: "complete_ok", CompleteOK: &CompleteResponse{}}),
 		encodeSeed(t, &Message{Kind: "error", Error: &WireError{Code: CodeLeaseExpired, Message: "lease l-7 reclaimed"}}),
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"asdsim/internal/farm"
+	"asdsim/internal/obs/span"
 )
 
 // ProtocolVersion gates coordinator/worker compatibility; a worker
@@ -49,6 +50,19 @@ type RegisterResponse struct {
 // leases.
 type HeartbeatRequest struct {
 	WorkerID string `json:"worker_id"`
+	// Stats optionally piggybacks the worker's local metrics snapshot;
+	// the coordinator folds it into the fleet_* federation families.
+	// Optional so pre-federation workers stay wire-compatible.
+	Stats *WorkerSnapshot `json:"stats,omitempty"`
+}
+
+// WorkerSnapshot is the metrics-federation payload: the worker's local
+// pool counters and its run wall-clock histogram, shipped whole on
+// each carrying heartbeat (counts are cumulative, so a lost heartbeat
+// costs nothing).
+type WorkerSnapshot struct {
+	Pool farm.Snapshot     `json:"pool"`
+	Wall farm.WallSnapshot `json:"wall"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat.
@@ -78,6 +92,10 @@ type Grant struct {
 	Key   string    `json:"key"`
 	Spec  farm.Spec `json:"spec"`
 	TTLMS int64     `json:"ttl_ms"`
+	// Trace is the distributed-tracing context: the spec's trace ID and
+	// the coordinator-side lease span to parent worker spans under.
+	// Optional so pre-tracing peers stay wire-compatible.
+	Trace *span.Context `json:"trace,omitempty"`
 }
 
 // CompleteRequest returns a leased task's terminal outcome.
@@ -85,7 +103,15 @@ type CompleteRequest struct {
 	WorkerID string       `json:"worker_id"`
 	LeaseID  string       `json:"lease_id"`
 	Outcome  farm.Outcome `json:"outcome"`
+	// Spans carries the worker-side spans recorded while executing the
+	// lease (bounded by maxSpansPerComplete on ingest).
+	Spans []span.Span `json:"spans,omitempty"`
 }
+
+// maxSpansPerComplete bounds how many worker spans one completion may
+// ship; the coordinator truncates beyond it rather than letting a
+// buggy worker balloon the envelope's span buffer.
+const maxSpansPerComplete = 256
 
 // CompleteResponse acknowledges an accepted completion.
 type CompleteResponse struct{}

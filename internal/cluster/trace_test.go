@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asdsim/internal/farm"
+	"asdsim/internal/obs/span"
+	"asdsim/internal/sim"
+)
+
+func attrValue(sp span.Span, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// One job's span lifecycle on the fake clock: the grant carries the
+// trace context, the lease span is attributed to the worker's name,
+// worker-shipped spans are ingested into the same trace, and every
+// timestamp comes from the injected clock — byte-for-byte deterministic.
+func TestCoordinatorSpanLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Options{WorkerTTL: 10 * time.Second, LeaseTTL: 5 * time.Second, Now: clk.Now})
+	w := mustRegister(t, c, "w1")
+
+	spec := testSpec("GemsFDTD", sim.NP)
+	key := spec.Key()
+	traceID := span.TraceIDFromKey(key)
+	startUS := clk.Now().UnixMicro()
+
+	ret := startBatch(c, context.Background(), []farm.Spec{spec}, nil)
+	waitPending(t, c, 1)
+
+	g, err := c.Acquire(AcquireRequest{WorkerID: w.WorkerID})
+	if err != nil || g.Grant == nil {
+		t.Fatalf("acquire: %v, grant %+v", err, g.Grant)
+	}
+	tr := g.Grant.Trace
+	if tr == nil || tr.TraceID != traceID || tr.Parent == 0 {
+		t.Fatalf("grant trace context = %+v, want trace %s parented on the lease span", tr, traceID)
+	}
+
+	// The worker runs for one fake second, then completes, shipping the
+	// execute span it recorded against the grant's context.
+	clk.Advance(time.Second)
+	exec := span.Span{TraceID: traceID, ID: 42, Parent: tr.Parent, Name: "execute",
+		Node: "w1", Key: key, StartUS: startUS, DurUS: time.Second.Microseconds()}
+	if _, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.Grant.LeaseID,
+		Outcome: fakeOutcome(spec, 100), Spans: []span.Span{exec}}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	if r := <-ret; r.err != nil {
+		t.Fatalf("batch: %v", r.err)
+	}
+
+	spans := c.Spans([]string{key})
+	byName := map[string]span.Span{}
+	for _, sp := range spans {
+		if sp.TraceID != traceID {
+			t.Errorf("span %s on foreign trace %s", sp.Name, sp.TraceID)
+		}
+		byName[sp.Name] = sp
+	}
+	for _, name := range []string{"job", "submit", "lease", "execute"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing %q span (have %v)", name, byName)
+		}
+	}
+
+	root, lease := byName["job"], byName["lease"]
+	if root.Node != "coordinator" || root.StartUS != startUS {
+		t.Errorf("root span = %+v, want coordinator span starting at %d", root, startUS)
+	}
+	if root.DurUS != time.Second.Microseconds() {
+		t.Errorf("root duration = %dus, want exactly the fake second", root.DurUS)
+	}
+	if attrValue(root, "status") != "ok" {
+		t.Errorf("root status = %q, want ok", attrValue(root, "status"))
+	}
+	if lease.Node != "w1" || lease.Parent != root.ID {
+		t.Errorf("lease span = %+v, want on node w1 parented on the job root %d", lease, root.ID)
+	}
+	if lease.ID != tr.Parent {
+		t.Errorf("grant parent = %d, want the lease span %d", tr.Parent, lease.ID)
+	}
+	if attrValue(lease, "status") != "completed" {
+		t.Errorf("lease status = %q, want completed", attrValue(lease, "status"))
+	}
+	if got := byName["execute"]; got.ID != 42 || got.Parent != lease.ID {
+		t.Errorf("ingested execute span = %+v, want ID 42 under the lease span", got)
+	}
+}
+
+// Identical batches over a store produce a cache-hit event instead of
+// a second job span — the trace records the read-through, not a rerun.
+func TestCoordinatorCacheHitSpan(t *testing.T) {
+	clk := newFakeClock()
+	store, err := farm.OpenStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c := New(Options{WorkerTTL: 10 * time.Second, LeaseTTL: 5 * time.Second, Now: clk.Now, Store: store})
+	w := mustRegister(t, c, "w1")
+
+	spec := testSpec("milc", sim.NP)
+	key := spec.Key()
+
+	ret := startBatch(c, context.Background(), []farm.Spec{spec}, nil)
+	waitPending(t, c, 1)
+	g, err := c.Acquire(AcquireRequest{WorkerID: w.WorkerID})
+	if err != nil || g.Grant == nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.Grant.LeaseID,
+		Outcome: fakeOutcome(spec, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-ret; r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	clk.Advance(time.Minute)
+	out, err := c.RunBatch(context.Background(), []farm.Spec{spec}, nil, nil)
+	if err != nil || len(out) != 1 || !out[0].Resumed {
+		t.Fatalf("repeat batch = %+v, %v, want one resumed outcome", out, err)
+	}
+	var hits, jobs int
+	for _, sp := range c.Spans([]string{key}) {
+		switch sp.Name {
+		case "cache-hit":
+			hits++
+			if sp.StartUS != clk.Now().UnixMicro() {
+				t.Errorf("cache-hit at %d, want the injected clock's %d", sp.StartUS, clk.Now().UnixMicro())
+			}
+		case "job":
+			jobs++
+		}
+	}
+	if hits != 1 || jobs != 1 {
+		t.Errorf("cache-hit spans = %d, job spans = %d; want exactly 1 and 1", hits, jobs)
+	}
+}

@@ -70,12 +70,24 @@ type Metrics struct {
 	simInstructions atomic.Uint64
 	simCycles       atomic.Uint64
 
+	// slo, when attached, receives every terminal outcome for
+	// burn-rate accounting; nil means the SLO families stay dark.
+	slo atomic.Pointer[SLOTracker]
+
 	mu      sync.Mutex
 	cells   map[cellKey]*cellStats
 	wall    *stats.Histogram // all runs
 	wallSum float64
 	wallMax float64
 }
+
+// AttachSLO starts feeding terminal outcomes into t and renders its
+// burn-rate families on scrape. Safe to call at any point; nil
+// detaches.
+func (m *Metrics) AttachSLO(t *SLOTracker) { m.slo.Store(t) }
+
+// SLO returns the attached tracker, or nil.
+func (m *Metrics) SLO() *SLOTracker { return m.slo.Load() }
 
 // NewMetrics returns a zeroed metrics block stamped with the current
 // time.
@@ -123,6 +135,9 @@ func (m *Metrics) finish(spec *Spec, o *Outcome) {
 		m.failed.Add(1)
 	}
 	sec := o.WallMS / 1e3
+	if t := m.slo.Load(); t != nil {
+		t.RecordRun(o.OK(), sec)
+	}
 	key := cellKey{bench: spec.Benchmark, mode: spec.Mode, engine: spec.Config.Engine}
 
 	m.mu.Lock()
@@ -166,6 +181,39 @@ func (m *Metrics) LatencySummary() (p50, p95, max float64, n uint64) {
 		return math.Inf(1)
 	}
 	return bound(0.5), bound(0.95), m.wallMax, n
+}
+
+// WallSnapshot is the run wall-clock histogram in transportable form:
+// per-bucket counts over latencyBounds (the final slot is the open
+// +Inf bucket) plus the exact sum and maximum. Workers ship it with
+// heartbeats so the coordinator can merge fleet-level latency.
+type WallSnapshot struct {
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    float64  `json:"sum"`
+	Max    float64  `json:"max"`
+}
+
+// Total returns the number of observations in the snapshot.
+func (w WallSnapshot) Total() uint64 {
+	var n uint64
+	for _, c := range w.Counts {
+		n += c
+	}
+	return n
+}
+
+// Wall exports the current wall-clock histogram.
+func (m *Metrics) Wall() WallSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := WallSnapshot{Sum: m.wallSum, Max: m.wallMax}
+	if m.wall.Total() > 0 {
+		ws.Counts = make([]uint64, m.wall.Buckets())
+		for v := 1; v <= m.wall.Buckets(); v++ {
+			ws.Counts[v-1] = m.wall.Count(v)
+		}
+	}
+	return ws
 }
 
 // Snapshot is a point-in-time view of the farm, shaped for JSON.

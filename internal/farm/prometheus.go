@@ -35,6 +35,10 @@ func (m *Metrics) AddTo(reg *prom.Registry) {
 	counter("farm_sim_instructions_total", "Simulated instructions aggregated over completed runs.", float64(s.SimInstructions))
 	counter("farm_sim_cycles_total", "Simulated CPU cycles aggregated over completed runs.", float64(s.SimCycles))
 
+	if t := m.slo.Load(); t != nil {
+		t.addTo(reg)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"asdsim/internal/obs/span"
 	"asdsim/internal/sim"
 )
 
@@ -399,11 +400,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	outcomes := append([]Outcome(nil), j.outcomes...)
 	j.mu.Unlock()
 
-	if r.URL.Query().Get("format") == "outcomes" {
+	switch r.URL.Query().Get("format") {
+	case "outcomes":
 		// The canonical comparison set: what `asdfarm run -outcomes`
 		// writes locally, so distributed and serial runs byte-diff.
 		w.Header().Set("Content-Type", "application/json")
 		WriteCanonical(w, outcomes)
+		return
+	case "trace":
+		// The merged Perfetto/Chrome trace of the job's distributed
+		// lifecycle: coordinator spans plus every worker span shipped
+		// back with completions.
+		ts, ok := s.runner.(TraceSource)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented,
+				fmt.Errorf("runner does not collect distributed spans (not a cluster coordinator)"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		span.WriteChromeTrace(w, ts.Spans(jobKeys(j)))
 		return
 	}
 
@@ -416,11 +431,42 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	runs = filterRuns(runs, r)
 	runs = paginate(runs, limit, after, func(v runView) string { return v.Key })
 
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"job":   j.summary(),
 		"gains": gains,
 		"runs":  runs,
-	})
+	}
+	if cs := s.clusterSnapshot(); cs != nil {
+		resp["lease_events"] = filterLeaseEvents(cs.LeaseEvents, jobKeys(j))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobKeys returns the job's spec keys (the trace handles of every cell
+// it touches, including cache-served ones).
+func jobKeys(j *serverJob) []string {
+	keys := make([]string, len(j.specs))
+	for i := range j.specs {
+		keys[i] = j.specs[i].Key()
+	}
+	return keys
+}
+
+// filterLeaseEvents keeps the transitions belonging to the given spec
+// keys, preserving ring (seq) order. Never nil: the field's presence
+// tells a cluster client the feed exists.
+func filterLeaseEvents(events []LeaseEvent, keys []string) []LeaseEvent {
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	kept := []LeaseEvent{}
+	for _, e := range events {
+		if want[e.Key] {
+			kept = append(kept, e)
+		}
+	}
+	return kept
 }
 
 // filterRuns applies the ?bench=, ?mode= and ?engine= row filters.
@@ -499,6 +545,9 @@ func (s *Server) handleFlightrecList(w http.ResponseWriter, r *http.Request) {
 	type row struct {
 		ID       string `json:"id"`
 		Label    string `json:"label"`
+		Key      string `json:"key,omitempty"`
+		Node     string `json:"node,omitempty"`
+		TraceID  string `json:"trace_id,omitempty"`
 		Detector string `json:"detector"`
 		Detail   string `json:"detail"`
 		Window   uint64 `json:"window"`
@@ -508,6 +557,7 @@ func (s *Server) handleFlightrecList(w http.ResponseWriter, r *http.Request) {
 	if s.telemetry != nil {
 		for _, b := range s.telemetry.Bundles() {
 			rows = append(rows, row{ID: b.ID, Label: b.Bundle.Label,
+				Key: b.Bundle.Key, Node: b.Bundle.Node, TraceID: b.Bundle.TraceID,
 				Detector: b.Bundle.Trigger.Detector, Detail: b.Bundle.Trigger.Detail,
 				Window: b.Bundle.Trigger.Window, Cycle: b.Bundle.Trigger.Cycle})
 		}

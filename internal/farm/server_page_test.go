@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	prom "asdsim/internal/metrics"
+	"asdsim/internal/obs/span"
 	"asdsim/internal/sim"
 )
 
@@ -127,6 +129,88 @@ func TestServerRunPaginationAndFilters(t *testing.T) {
 	}
 }
 
+// Cursor edge cases: a cursor at the last row yields an empty page, a
+// limit past the end is harmless, and ?after= composes with the row
+// filters — the cursor resolves within the filtered sequence, so a
+// cursor the filter excludes matches nothing.
+func TestServerPaginationCursorEdges(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1000 + uint64(s.Mode)), nil
+	})
+	id := submitAndFinish(t, srv, Matrix{Benchmarks: []string{"GemsFDTD", "milc"}, Budget: 5000})
+	all := getRuns(t, srv, id, "")
+	if len(all) != 8 {
+		t.Fatalf("unpaginated runs = %d, want 8", len(all))
+	}
+	last := all[len(all)-1].Key
+
+	if got := getRuns(t, srv, id, "?after="+last); len(got) != 0 {
+		t.Errorf("cursor at last row returned %d rows, want empty page", len(got))
+	}
+	if got := getRuns(t, srv, id, "?after="+last+"&limit=3"); len(got) != 0 {
+		t.Errorf("cursor at last row with limit returned %d rows, want empty page", len(got))
+	}
+	if got := getRuns(t, srv, id, "?limit=0"); len(got) != len(all) {
+		t.Errorf("limit=0 rows = %d, want unbounded %d", len(got), len(all))
+	}
+	if got := getRuns(t, srv, id, "?limit=100"); len(got) != len(all) {
+		t.Errorf("oversized limit rows = %d, want %d", len(got), len(all))
+	}
+
+	// The cursor pages within the filtered sequence.
+	gems := getRuns(t, srv, id, "?bench=GemsFDTD")
+	if len(gems) != 4 {
+		t.Fatalf("bench filter rows = %d, want 4", len(gems))
+	}
+	tail := getRuns(t, srv, id, "?bench=GemsFDTD&after="+gems[0].Key)
+	if len(tail) != 3 {
+		t.Fatalf("filtered cursor rows = %d, want 3", len(tail))
+	}
+	for i := range tail {
+		if tail[i].Key != gems[i+1].Key {
+			t.Fatalf("filtered page diverges at %d: %s vs %s", i, tail[i].Key, gems[i+1].Key)
+		}
+	}
+	pms := getRuns(t, srv, id, "?mode=PMS")
+	if len(pms) != 2 {
+		t.Fatalf("mode filter rows = %d, want 2", len(pms))
+	}
+	if got := getRuns(t, srv, id, "?mode=PMS&after="+pms[0].Key+"&limit=5"); len(got) != 1 || got[0].Key != pms[1].Key {
+		t.Errorf("mode+cursor page = %+v, want [%s]", got, pms[1].Key)
+	}
+
+	// A cursor the filter excludes is an unknown cursor: empty page.
+	milc := getRuns(t, srv, id, "?bench=milc")
+	if got := getRuns(t, srv, id, "?bench=GemsFDTD&after="+milc[0].Key); len(got) != 0 {
+		t.Errorf("filter-excluded cursor returned %d rows, want empty page", len(got))
+	}
+}
+
+// The job list's cursor behaves the same at its edges.
+func TestServerJobListCursorEdges(t *testing.T) {
+	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		ids = append(ids, submitAndFinish(t, srv, Matrix{Benchmarks: []string{"GemsFDTD"}, Budget: 1000}))
+	}
+	r, err := http.Get(srv.URL + "/jobs?after=" + ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page := decode[[]jobSummary](t, r); len(page) != 0 {
+		t.Errorf("cursor at last job returned %d rows, want empty page", len(page))
+	}
+	r, err = http.Get(srv.URL + "/jobs?after=job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page := decode[[]jobSummary](t, r); len(page) != 0 {
+		t.Errorf("unknown job cursor returned %d rows, want empty page", len(page))
+	}
+}
+
 // The job list paginates in creation order with the same cursor scheme.
 func TestServerJobListPagination(t *testing.T) {
 	srv := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
@@ -189,6 +273,9 @@ func TestServerOutcomesFormat(t *testing.T) {
 type fakeClusterRunner struct {
 	pool *Pool
 	snap ClusterSnapshot
+
+	mu      sync.Mutex
+	gotKeys []string
 }
 
 func (f *fakeClusterRunner) RunBatch(ctx context.Context, specs []Spec, store *Store, onDone func(Outcome)) ([]Outcome, error) {
@@ -197,6 +284,109 @@ func (f *fakeClusterRunner) RunBatch(ctx context.Context, specs []Spec, store *S
 func (f *fakeClusterRunner) Metrics() *Metrics                { return f.pool.Metrics() }
 func (f *fakeClusterRunner) Workers() int                     { return f.pool.Workers() }
 func (f *fakeClusterRunner) ClusterSnapshot() ClusterSnapshot { return f.snap }
+
+// Spans implements TraceSource: two spans per requested key, one on the
+// coordinator and one on a worker, recording the keys it was asked for.
+func (f *fakeClusterRunner) Spans(keys []string) []span.Span {
+	f.mu.Lock()
+	f.gotKeys = append([]string(nil), keys...)
+	f.mu.Unlock()
+	out := []span.Span{}
+	for _, k := range keys {
+		tid := span.TraceIDFromKey(k)
+		out = append(out,
+			span.Span{TraceID: tid, ID: 1, Name: "job", Node: "coordinator", Key: k, StartUS: 1, DurUS: 10},
+			span.Span{TraceID: tid, ID: 2, Parent: 1, Name: "execute", Node: "w1", Key: k, StartUS: 2, DurUS: 5})
+	}
+	return out
+}
+
+// ?format=trace merges the coordinator's spans for the job's keys into
+// one Chrome trace; the plain-pool server says 501; the job status of a
+// cluster server carries the job-filtered lease-event feed.
+func TestServerTraceFormat(t *testing.T) {
+	m := Matrix{Benchmarks: []string{"GemsFDTD"}, Modes: []string{"NP"}, Budget: 1000}
+	specs, err := m.Specs()
+	if err != nil || len(specs) != 1 {
+		t.Fatalf("specs = %v, %v", specs, err)
+	}
+	key := specs[0].Key()
+
+	pool := New(Options{Workers: 1, Run: func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	}})
+	defer pool.Close()
+	runner := &fakeClusterRunner{pool: pool, snap: ClusterSnapshot{
+		LeaseEvents: []LeaseEvent{
+			{Seq: 1, Event: "grant", Key: key, Worker: "w1"},
+			{Seq: 2, Event: "grant", Key: "someone-elses-job", Worker: "w2"},
+		},
+	}}
+	srv := httptest.NewServer(NewServerFor(runner, nil).Handler())
+	defer srv.Close()
+	id := submitAndFinish(t, srv, m)
+
+	// The status page filters the lease feed down to this job's keys.
+	r, err := http.Get(srv.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[struct {
+		LeaseEvents []LeaseEvent `json:"lease_events"`
+	}](t, r)
+	if len(st.LeaseEvents) != 1 || st.LeaseEvents[0].Key != key || st.LeaseEvents[0].Worker != "w1" {
+		t.Fatalf("lease_events = %+v, want just this job's grant", st.LeaseEvents)
+	}
+
+	r, err = http.Get(srv.URL + "/jobs/" + id + "?format=trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", r.StatusCode)
+	}
+	trace := decode[struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}](t, r)
+	runner.mu.Lock()
+	gotKeys := runner.gotKeys
+	runner.mu.Unlock()
+	if len(gotKeys) != 1 || gotKeys[0] != key {
+		t.Fatalf("trace export asked for keys %v, want [%s]", gotKeys, key)
+	}
+	seen := map[string]bool{}
+	for _, e := range trace.TraceEvents {
+		seen[e.Name] = true
+		if e.Name == "process_name" {
+			if n, _ := e.Args["name"].(string); n != "" {
+				seen[n] = true
+			}
+		}
+	}
+	for _, want := range []string{"job", "execute", "coordinator", "w1"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q; events: %v", want, seen)
+		}
+	}
+
+	// A plain in-process pool has no distributed spans to export.
+	plain := startTestServer(t, func(ctx context.Context, s Spec) (sim.Result, error) {
+		return fakeResult(1), nil
+	})
+	pid := submitAndFinish(t, plain, m)
+	r, err = http.Get(plain.URL + "/jobs/" + pid + "?format=trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotImplemented {
+		t.Errorf("plain-pool trace status = %d, want 501", r.StatusCode)
+	}
+}
 
 // A cluster-backed server exposes the cluster_* families on the
 // Prometheus endpoint — and the whole payload stays grammatical.

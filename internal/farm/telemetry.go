@@ -8,6 +8,7 @@ import (
 	prom "asdsim/internal/metrics"
 	"asdsim/internal/obs"
 	"asdsim/internal/obs/flightrec"
+	"asdsim/internal/obs/span"
 	"asdsim/internal/sim"
 )
 
@@ -21,6 +22,10 @@ import (
 // so the simulation hot path takes no locks; only the end-of-run merge
 // does.
 type Telemetry struct {
+	// Node names the executing node ("w1") in triage bundles so a
+	// bundle pulled off a cluster worker says where it was captured.
+	// Optional; empty for standalone farms.
+	Node string
 	// SparkPoints bounds each run's CAQ sparkline (downsampled);
 	// defaults to 60.
 	SparkPoints int
@@ -73,10 +78,14 @@ func NewTelemetry() *Telemetry {
 func (t *Telemetry) Instrument(spec Spec) (*obs.Bus, func(res *sim.Result, err error)) {
 	label := spec.Benchmark + "/" + spec.Mode.String()
 	cfg, _ := json.Marshal(spec.Config)
+	key := spec.Key()
 	rec := flightrec.New(flightrec.Options{
 		Label:     label,
 		Detectors: flightrec.DefaultDetectors(spec.Config.MC.CAQCap),
 		Config:    cfg,
+		Key:       key,
+		Node:      t.Node,
+		TraceID:   span.TraceIDFromKey(key),
 	})
 	sampler := obs.NewSampler(0)
 	fin := func(res *sim.Result, err error) {

@@ -28,6 +28,9 @@ map iteration, and goroutine spawns inside the simulation packages`,
 		// requests interleave: no goroutines of its own, no wall-clock
 		// reads outside the injected Options.Now, no map-order effects.
 		"asdsim/internal/cluster",
+		// Span recording shares the coordinator's clock discipline: IDs
+		// derive from span content, timestamps only from injected nows.
+		"asdsim/internal/obs/span",
 	),
 	Run: runDeterminism,
 }

@@ -201,6 +201,66 @@ func (t *TraceBuilder) instant(name, cat string, cycle uint64) {
 // Len returns the number of trace events accumulated so far.
 func (t *TraceBuilder) Len() int { return len(t.events) }
 
+// NameThread attaches a thread_name metadata record to track tid of the
+// current process, so viewers label the track instead of showing a bare
+// number.
+func (t *TraceBuilder) NameThread(tid int, name string) {
+	if t.pid < 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: t.pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// AddSlice appends one complete ("X") slice with explicit microsecond
+// timestamps, for callers — such as obs/span — whose events live in
+// wall- or injected-clock time rather than the simulated cycle domain.
+// Zero-length slices get a minimal duration so they stay selectable.
+func (t *TraceBuilder) AddSlice(name, cat string, tsMicro, durMicro float64, tid int, args map[string]any) {
+	if t.pid < 0 {
+		return
+	}
+	if durMicro <= 0 {
+		durMicro = 0.001
+	}
+	d := durMicro
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X", Ts: tsMicro, Dur: &d, Pid: t.pid, Tid: tid, Args: args,
+	})
+}
+
+// AddInstant appends one instant ("i") event at an explicit microsecond
+// timestamp on track tid.
+func (t *TraceBuilder) AddInstant(name, cat string, tsMicro float64, tid int, args map[string]any) {
+	if t.pid < 0 {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "i", Ts: tsMicro, Pid: t.pid, Tid: tid, S: "t", Args: args,
+	})
+}
+
+// Merge appends every event from other into t, renumbering other's
+// process ids to follow t's so the two never collide. other should be
+// discarded afterwards.
+func (t *TraceBuilder) Merge(other *TraceBuilder) {
+	if other == nil || len(other.events) == 0 {
+		return
+	}
+	base := t.pid + 1
+	maxPid := t.pid
+	for _, e := range other.events {
+		e.Pid += base
+		if e.Pid > maxPid {
+			maxPid = e.Pid
+		}
+		t.events = append(t.events, e)
+	}
+	t.pid = maxPid
+}
+
 // WriteJSON writes the accumulated trace as a JSON object in the Chrome
 // trace-event format, events sorted by timestamp as the viewers
 // prefer. The builder remains usable (more runs may be appended).

@@ -36,7 +36,13 @@ type DepthRow struct {
 // everything needed to reason about the anomaly without re-running the
 // simulation.
 type Bundle struct {
-	Label   string  `json:"label"`
+	Label string `json:"label"`
+	// Key, Node and TraceID carry the farm job identity, the executing
+	// node, and the distributed trace this run belonged to (when the
+	// run was cluster-executed); empty for standalone runs.
+	Key     string  `json:"key,omitempty"`
+	Node    string  `json:"node,omitempty"`
+	TraceID string  `json:"trace_id,omitempty"`
 	Trigger Trigger `json:"trigger"`
 	// Windows is the recent closed-window history, oldest first; the
 	// last entry is the window that tripped the detector.
@@ -72,6 +78,9 @@ func (r *Recorder) capture(t Trigger) *Bundle {
 	}
 	return &Bundle{
 		Label:      r.opts.Label,
+		Key:        r.opts.Key,
+		Node:       r.opts.Node,
+		TraceID:    r.opts.TraceID,
 		Trigger:    t,
 		Windows:    append([]Window(nil), r.recent...),
 		SLH:        slh,
@@ -117,7 +126,11 @@ const reportTailEvents = 24
 func (b *Bundle) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "flight recorder: %s — %s at window %d (cycle %d)\n",
 		b.Label, b.Trigger.Detector, b.Trigger.Window, b.Trigger.Cycle)
-	fmt.Fprintf(w, "  %s\n\n", b.Trigger.Detail)
+	fmt.Fprintf(w, "  %s\n", b.Trigger.Detail)
+	if b.Key != "" || b.Node != "" || b.TraceID != "" {
+		fmt.Fprintf(w, "  job=%s node=%s trace=%s\n", b.Key, b.Node, b.TraceID)
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "recent windows (oldest first; * marks the trigger window):\n")
 	fmt.Fprintf(w, "  %-8s %8s %7s %7s %7s %8s %7s %7s %6s %7s %7s %6s\n",

@@ -1,0 +1,287 @@
+// Package span is the farm's deterministic distributed-tracing layer.
+//
+// A trace follows one spec (one simulation cell) through the cluster:
+// submit, coalesce, lease grant, heartbeat renewals, worker execution,
+// lease expiry and steal, result append, cache hit. Trace IDs are
+// derived from the spec's content-addressed SHA-256 key, so the same
+// spec always lands in the same trace no matter which process observed
+// it; span IDs are FNV-64a hashes of the trace ID, span name and a
+// per-recorder sequence number. No wall clock and no randomness are
+// consulted anywhere in this package: every timestamp comes from the
+// clock injected into the Recorder, which keeps the asdlint
+// determinism pass clean and makes span streams reproducible under the
+// fake clocks used in tests.
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ID is a 64-bit span identifier, rendered as 16 lowercase hex digits
+// in JSON. The zero ID means "no span" (e.g. a root span's parent).
+type ID uint64
+
+// String renders the ID as 16 lowercase hex digits.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalText implements encoding.TextMarshaler.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler. It accepts up to
+// 16 hex digits in either case.
+func (id *ID) UnmarshalText(b []byte) error {
+	if len(b) == 0 || len(b) > 16 {
+		return fmt.Errorf("span: id %q must be 1..16 hex digits", b)
+	}
+	v, err := strconv.ParseUint(string(b), 16, 64)
+	if err != nil {
+		return fmt.Errorf("span: bad id %q: %v", b, err)
+	}
+	*id = ID(v)
+	return nil
+}
+
+// Context is the trace context propagated through the cluster RPC
+// envelope: which trace a remote span belongs to and which span is its
+// parent.
+type Context struct {
+	TraceID string `json:"trace_id"`
+	Parent  ID     `json:"parent,omitempty"`
+}
+
+// Attr is one string key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one completed span. Timestamps are microseconds on the
+// recording process's injected clock (UnixMicro); DurUS is zero for
+// instant events.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	ID      ID     `json:"id"`
+	Parent  ID     `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Node    string `json:"node"`
+	Key     string `json:"key,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// traceIDLen is the number of leading hex digits of the spec key used
+// as the trace ID — 128 bits of the SHA-256 content address.
+const traceIDLen = 32
+
+// TraceIDFromKey derives the trace ID for a spec from its
+// content-addressed key: the first 32 hex digits. Short keys (only
+// seen in tests) are used whole.
+func TraceIDFromKey(key string) string {
+	if len(key) > traceIDLen {
+		return key[:traceIDLen]
+	}
+	return key
+}
+
+// deriveID hashes (traceID, name, seq) with FNV-64a. The result is
+// deterministic for a deterministic call sequence and never zero.
+func deriveID(traceID, name string, seq uint64) ID {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(traceID); i++ {
+		h = (h ^ uint64(traceID[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime64
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (seq >> (8 * i) & 0xff)) * prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return ID(h)
+}
+
+// maxSpans bounds a Recorder's retained span buffer. When the bound is
+// hit the oldest half is dropped: a long-lived coordinator keeps the
+// recent lifecycle visible instead of growing without limit.
+const maxSpans = 65536
+
+// Recorder collects spans for one node (a coordinator or a worker
+// process). All methods are safe for concurrent use. The clock is
+// injected — pass the coordinator's Options.Now, time.Now at a
+// process's edge, or a fake in tests.
+type Recorder struct {
+	node string
+	now  func() time.Time
+
+	mu    sync.Mutex
+	seq   uint64
+	spans []Span
+}
+
+// NewRecorder returns a Recorder stamping spans with the given node
+// name and clock. now must be non-nil.
+func NewRecorder(node string, now func() time.Time) *Recorder {
+	if now == nil {
+		panic("span: NewRecorder needs an injected clock")
+	}
+	return &Recorder{node: node, now: now}
+}
+
+// Node returns the node name spans are stamped with.
+func (r *Recorder) Node() string { return r.node }
+
+// Active is a started, not yet ended span.
+type Active struct {
+	r  *Recorder
+	sp Span
+}
+
+// Start opens a span in traceID under parent (zero for a root span).
+// The returned Active must be ended exactly once; nothing is recorded
+// until End.
+func (r *Recorder) Start(traceID string, parent ID, name, key string, attrs ...Attr) *Active {
+	return r.StartOn(r.node, traceID, parent, name, key, attrs...)
+}
+
+// StartOn opens a span attributed to an explicit node. The coordinator
+// uses it to record lease spans on the owning worker's behalf: a
+// worker killed mid-lease can never ship its own spans, but its lease
+// timeline should still appear under its name in the merged trace.
+func (r *Recorder) StartOn(node, traceID string, parent ID, name, key string, attrs ...Attr) *Active {
+	r.mu.Lock()
+	r.seq++
+	id := deriveID(traceID, name, r.seq)
+	r.mu.Unlock()
+	return &Active{r: r, sp: Span{
+		TraceID: traceID, ID: id, Parent: parent, Name: name, Node: node,
+		Key: key, StartUS: r.now().UnixMicro(), Attrs: attrs,
+	}}
+}
+
+// ID returns the span's identifier, usable as a parent before End.
+func (a *Active) ID() ID { return a.sp.ID }
+
+// Context returns the trace context for children of this span.
+func (a *Active) Context() Context {
+	return Context{TraceID: a.sp.TraceID, Parent: a.sp.ID}
+}
+
+// End stamps the duration, appends any final attributes, and records
+// the span.
+func (a *Active) End(attrs ...Attr) {
+	a.sp.Attrs = append(a.sp.Attrs, attrs...)
+	if d := a.r.now().UnixMicro() - a.sp.StartUS; d > 0 {
+		a.sp.DurUS = d
+	}
+	a.r.append(a.sp)
+}
+
+// Event records a zero-duration span (an instant) and returns its ID.
+func (r *Recorder) Event(traceID string, parent ID, name, key string, attrs ...Attr) ID {
+	r.mu.Lock()
+	r.seq++
+	id := deriveID(traceID, name, r.seq)
+	r.mu.Unlock()
+	r.append(Span{
+		TraceID: traceID, ID: id, Parent: parent, Name: name, Node: r.node,
+		Key: key, StartUS: r.now().UnixMicro(), Attrs: attrs,
+	})
+	return id
+}
+
+func (r *Recorder) append(sp Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= maxSpans {
+		keep := maxSpans / 2
+		copy(r.spans, r.spans[len(r.spans)-keep:])
+		r.spans = r.spans[:keep]
+	}
+	r.spans = append(r.spans, sp)
+}
+
+// Ingest absorbs spans recorded elsewhere (a worker's CompleteRequest)
+// into this recorder's buffer, preserving their Node attribution.
+func (r *Recorder) Ingest(spans []Span) {
+	for _, sp := range spans {
+		r.append(sp)
+	}
+}
+
+// DrainTrace removes and returns every buffered span belonging to
+// traceID, in recording order. Workers use it to ship exactly one
+// lease's spans with its result while other slots keep recording.
+func (r *Recorder) DrainTrace(traceID string) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	kept := r.spans[:0]
+	for _, sp := range r.spans {
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		} else {
+			kept = append(kept, sp)
+		}
+	}
+	r.spans = kept
+	return out
+}
+
+// SpansFor returns a copy of every buffered span whose trace belongs
+// to one of the given spec keys, in recording order.
+func (r *Recorder) SpansFor(keys []string) []Span {
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		want[TraceIDFromKey(k)] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	for _, sp := range r.spans {
+		if want[sp.TraceID] {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Nodes returns the sorted set of node names appearing in spans, with
+// "coordinator" first when present — the process order used by the
+// Chrome-trace export.
+func Nodes(spans []Span) []string {
+	seen := make(map[string]bool)
+	for _, sp := range spans {
+		seen[sp.Node] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ci, cj := names[i] == "coordinator", names[j] == "coordinator"
+		if ci != cj {
+			return ci
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,246 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tick is a fake clock advancing 1ms per reading.
+func tick() func() time.Time {
+	t := time.Unix(1_700_000_000, 0)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestIDJSONRoundTrip(t *testing.T) {
+	for _, id := range []ID{0, 1, 0xdeadbeefcafe, ^ID(0)} {
+		b, err := json.Marshal(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != 18 { // 16 hex digits + quotes
+			t.Fatalf("ID %d renders as %s, want 16 hex digits", id, b)
+		}
+		var back ID
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Fatalf("round trip %d -> %s -> %d", id, b, back)
+		}
+	}
+	var id ID
+	if err := json.Unmarshal([]byte(`"not-hex"`), &id); err == nil {
+		t.Error("non-hex id decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`"00112233445566778"`), &id); err == nil {
+		t.Error("17-digit id decoded without error")
+	}
+}
+
+func TestTraceIDFromKey(t *testing.T) {
+	key := strings.Repeat("ab", 32) // 64 hex digits, like a real spec key
+	if got := TraceIDFromKey(key); got != key[:32] {
+		t.Errorf("TraceIDFromKey = %s, want first 32 digits", got)
+	}
+	if got := TraceIDFromKey("short"); got != "short" {
+		t.Errorf("short key mangled: %s", got)
+	}
+}
+
+func TestDeriveIDDeterministicAndDistinct(t *testing.T) {
+	a := deriveID("trace-a", "submit", 1)
+	if b := deriveID("trace-a", "submit", 1); b != a {
+		t.Errorf("same inputs, different ids: %s vs %s", a, b)
+	}
+	if b := deriveID("trace-a", "submit", 2); b == a {
+		t.Error("sequence not mixed into id")
+	}
+	if b := deriveID("trace-b", "submit", 1); b == a {
+		t.Error("trace id not mixed into id")
+	}
+	if b := deriveID("trace-a", "result", 1); b == a {
+		t.Error("name not mixed into id")
+	}
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder("coordinator", tick())
+	root := r.Start("t1", 0, "job", "key1", Attr{"bench", "GemsFDTD"})
+	if root.ID() == 0 {
+		t.Fatal("zero span id")
+	}
+	ctx := root.Context()
+	if ctx.TraceID != "t1" || ctx.Parent != root.ID() {
+		t.Fatalf("context = %+v", ctx)
+	}
+	ev := r.Event("t1", root.ID(), "steal", "key1")
+	if ev == 0 || ev == root.ID() {
+		t.Fatalf("event id %s collides or is zero", ev)
+	}
+	root.End(Attr{"ok", "true"})
+
+	spans := r.SpansFor([]string{"key1"})
+	if len(spans) != 0 {
+		t.Fatalf("key1's trace id is not t1; SpansFor should match trace ids, got %d", len(spans))
+	}
+	all := r.DrainTrace("t1")
+	if len(all) != 2 {
+		t.Fatalf("drained %d spans, want 2", len(all))
+	}
+	// The event recorded before End, so it drains first.
+	if all[0].Name != "steal" || all[0].DurUS != 0 {
+		t.Errorf("event span = %+v", all[0])
+	}
+	job := all[1]
+	if job.Name != "job" || job.Node != "coordinator" || job.Key != "key1" {
+		t.Errorf("job span = %+v", job)
+	}
+	if job.DurUS <= 0 {
+		t.Errorf("job duration = %d, want > 0", job.DurUS)
+	}
+	if len(job.Attrs) != 2 || job.Attrs[1].Key != "ok" {
+		t.Errorf("job attrs = %+v", job.Attrs)
+	}
+	if r.Len() != 0 {
+		t.Errorf("recorder still holds %d spans after drain", r.Len())
+	}
+}
+
+func TestDrainTraceIsolation(t *testing.T) {
+	r := NewRecorder("w1", tick())
+	r.Event("t1", 0, "a", "")
+	r.Event("t2", 0, "b", "")
+	r.Event("t1", 0, "c", "")
+	got := r.DrainTrace("t1")
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("drain t1 = %+v", got)
+	}
+	if rest := r.DrainTrace("t2"); len(rest) != 1 || rest[0].Name != "b" {
+		t.Fatalf("t2 spans disturbed: %+v", rest)
+	}
+}
+
+func TestSpansForMatchesKeyDerivedTraces(t *testing.T) {
+	r := NewRecorder("coordinator", tick())
+	keyA := strings.Repeat("aa", 32)
+	keyB := strings.Repeat("bb", 32)
+	r.Event(TraceIDFromKey(keyA), 0, "submit", keyA)
+	r.Event(TraceIDFromKey(keyB), 0, "submit", keyB)
+	r.Ingest([]Span{{TraceID: TraceIDFromKey(keyA), ID: 7, Name: "execute", Node: "w1"}})
+
+	got := r.SpansFor([]string{keyA})
+	if len(got) != 2 {
+		t.Fatalf("SpansFor(keyA) = %d spans, want 2", len(got))
+	}
+	if got[1].Node != "w1" {
+		t.Errorf("ingested span lost attribution: %+v", got[1])
+	}
+	if r.Len() != 3 {
+		t.Errorf("SpansFor drained the buffer: len = %d", r.Len())
+	}
+}
+
+func TestRecorderBoundedRetention(t *testing.T) {
+	r := NewRecorder("w1", tick())
+	for i := 0; i < maxSpans+10; i++ {
+		r.Event("t", 0, "e", "")
+	}
+	if n := r.Len(); n > maxSpans {
+		t.Fatalf("recorder grew to %d spans, bound is %d", n, maxSpans)
+	}
+}
+
+func TestNodesOrdering(t *testing.T) {
+	spans := []Span{{Node: "w2"}, {Node: "coordinator"}, {Node: "w1"}, {Node: "w2"}}
+	got := Nodes(spans)
+	want := []string{"coordinator", "w1", "w2"}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder("coordinator", tick())
+	a := r.Start("t1", 0, "job", "key1")
+	r.Event("t1", a.ID(), "steal", "key1", Attr{"from", "w1"})
+	a.End()
+	spans := r.DrainTrace("t1")
+	spans = append(spans, Span{
+		TraceID: "t1", ID: 42, Parent: a.ID(), Name: "execute",
+		Node: "w2", StartUS: spans[0].StartUS + 100, DurUS: 50,
+	})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	byName := map[string]int{}
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			pids[ev.Args["name"].(string)] = ev.Pid
+		}
+		if ev.Ph == "X" || ev.Ph == "i" {
+			if ev.Ts < 0 {
+				t.Errorf("event %s has negative rebased ts %f", ev.Name, ev.Ts)
+			}
+		}
+	}
+	if byName["job"] != 1 || byName["steal"] != 1 || byName["execute"] != 1 {
+		t.Fatalf("span events missing: %v", byName)
+	}
+	cp, wok := pids["coordinator"], false
+	if wp, ok := pids["w2"]; ok && wp != cp {
+		wok = true
+	}
+	if !wok {
+		t.Fatalf("expected distinct coordinator and w2 processes, got %v", pids)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "steal" && ev.Ph != "i" {
+			t.Errorf("zero-duration span rendered as %q, want instant", ev.Ph)
+		}
+		if ev.Name == "execute" {
+			if ev.Pid != pids["w2"] {
+				t.Errorf("execute span in pid %d, want w2's %d", ev.Pid, pids["w2"])
+			}
+			if ev.Args["parent"] != a.ID().String() {
+				t.Errorf("execute parent = %v, want %s", ev.Args["parent"], a.ID())
+			}
+		}
+	}
+
+	// An empty span set still renders a valid document.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("empty trace is not valid JSON")
+	}
+}

@@ -1,0 +1,87 @@
+package span
+
+import (
+	"io"
+	"sort"
+
+	"asdsim/internal/obs"
+)
+
+// BuildTrace renders spans into a Chrome trace-event builder: one
+// process per node (coordinator first), one thread track per trace,
+// timestamps rebased so the earliest span starts at zero. The caller
+// may merge further processes (e.g. sim-level cycle traces) into the
+// returned builder before writing it out.
+func BuildTrace(spans []Span) *obs.TraceBuilder {
+	tb := obs.NewTraceBuilder()
+	if len(spans) == 0 {
+		return tb
+	}
+
+	minStart := spans[0].StartUS
+	for _, sp := range spans {
+		if sp.StartUS < minStart {
+			minStart = sp.StartUS
+		}
+	}
+
+	byNode := make(map[string][]Span)
+	for _, sp := range spans {
+		byNode[sp.Node] = append(byNode[sp.Node], sp)
+	}
+
+	for _, node := range Nodes(spans) {
+		nodeSpans := byNode[node]
+		tb.StartProcess(node)
+
+		// One track per trace, ordered by trace ID so track layout is
+		// stable across exports.
+		traceIDs := make(map[string]bool)
+		for _, sp := range nodeSpans {
+			traceIDs[sp.TraceID] = true
+		}
+		ids := make([]string, 0, len(traceIDs))
+		for id := range traceIDs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		tid := make(map[string]int, len(ids))
+		for i, id := range ids {
+			tid[id] = i
+			label := id
+			if len(label) > 12 {
+				label = label[:12]
+			}
+			tb.NameThread(i, "trace "+label)
+		}
+
+		for _, sp := range nodeSpans {
+			args := map[string]any{
+				"trace_id": sp.TraceID,
+				"span_id":  sp.ID.String(),
+			}
+			if sp.Parent != 0 {
+				args["parent"] = sp.Parent.String()
+			}
+			if sp.Key != "" {
+				args["key"] = sp.Key
+			}
+			for _, at := range sp.Attrs {
+				args[at.Key] = at.Value
+			}
+			ts := float64(sp.StartUS - minStart)
+			if sp.DurUS > 0 {
+				tb.AddSlice(sp.Name, "span", ts, float64(sp.DurUS), tid[sp.TraceID], args)
+			} else {
+				tb.AddInstant(sp.Name, "span", ts, tid[sp.TraceID], args)
+			}
+		}
+	}
+	return tb
+}
+
+// WriteChromeTrace renders spans with BuildTrace and writes the JSON
+// document to w.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return BuildTrace(spans).WriteJSON(w)
+}
