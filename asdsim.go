@@ -86,6 +86,41 @@ func RunContext(ctx context.Context, bench string, cfg Config) (Result, error) {
 	return sim.RunContext(ctx, bench, cfg)
 }
 
+// Batch runs many matrix cells over shared materialized workload
+// traces: each benchmark's trace is generated once per (seed, thread,
+// budget) and every (mode, engine, depth) cell replays it. Exact-mode
+// outcomes are bit-identical to Run. Safe for concurrent use.
+type Batch = sim.Batch
+
+// BatchCell is one (benchmark, config) cell for Batch.RunAll.
+type BatchCell = sim.BatchCell
+
+// NewBatch returns a Batch with a default-bounded trace cache.
+func NewBatch() *Batch { return sim.NewBatch() }
+
+// SampleConfig parameterizes SMARTS-style sampled simulation.
+type SampleConfig = sim.SampleConfig
+
+// SampledResult is a sampled run's CPI estimate with its confidence
+// interval and extrapolated cycle/IPC figures.
+type SampledResult = sim.SampledResult
+
+// DefaultSampleConfig returns the default sampling parameters.
+func DefaultSampleConfig() SampleConfig { return sim.DefaultSampleConfig() }
+
+// Sampled runs bench under cfg with SMARTS-style systematic sampling:
+// short detailed windows measure CPI, the gaps run under a functional
+// model that keeps caches and prefetcher state warm, and the estimate
+// carries a Student-t confidence interval.
+func Sampled(bench string, cfg Config, sc SampleConfig) (SampledResult, error) {
+	return sim.Sampled(bench, cfg, sc)
+}
+
+// SampledContext is Sampled with cancellation.
+func SampledContext(ctx context.Context, bench string, cfg Config, sc SampleConfig) (SampledResult, error) {
+	return sim.SampledContext(ctx, bench, cfg, sc)
+}
+
 // Benchmarks returns all registered benchmark names, sorted.
 func Benchmarks() []string { return workload.Names() }
 

@@ -119,6 +119,12 @@ func runBatch(args []string) {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	timeout := fs.Duration("timeout", 0, "per-attempt wall-clock limit (0: none)")
 	retries := fs.Int("retries", 1, "retries per failed run")
+	sample := fs.Bool("sample", false, "SMARTS-style sampled simulation: each cell yields a CPI confidence interval and extrapolated estimate")
+	samplePeriod := fs.Uint64("sample-period", 0, "sampling period in instructions (0 = default)")
+	sampleWarmup := fs.Uint64("sample-warmup", 0, "detailed warmup instructions per window (0 = default)")
+	sampleDetail := fs.Uint64("sample-detail", 0, "measured detailed instructions per window (0 = default)")
+	sampleFuncWarm := fs.Uint64("sample-funcwarm", 0, "bound functional warming to the last N instructions before each window (0 = warm the whole gap)")
+	sampleConf := fs.Float64("sample-confidence", 0, "confidence level for CPI intervals: 0.90, 0.95 or 0.99 (0 = default)")
 	out := fs.String("out", "", "results store (file or directory); enables persistence and resume")
 	outcomes := fs.String("outcomes", "", "write the canonical outcome set (sorted JSON, wall-clock-free) here")
 	clusterURL := fs.String("cluster", "", "coordinator base URL; run the matrix on the distributed farm")
@@ -137,6 +143,12 @@ func runBatch(args []string) {
 		DeriveSeeds: *deriveSeeds,
 		TimeoutSec:  timeout.Seconds(),
 		Retries:     *retries,
+	}
+	if *sample || *samplePeriod != 0 || *sampleWarmup != 0 || *sampleDetail != 0 || *sampleFuncWarm != 0 || *sampleConf != 0 {
+		m.Sample = &sim.SampleConfig{
+			Period: *samplePeriod, Warmup: *sampleWarmup, Detail: *sampleDetail,
+			FuncWarmup: *sampleFuncWarm, Confidence: *sampleConf,
+		}
 	}
 	specs, err := m.Specs()
 	if err != nil {

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style|ghb] [-v]
+//	       [-sample] [-sample-period N] [-sample-warmup N] [-sample-detail N] [-sample-funcwarm N] [-sample-confidence C]
 //	       [-obs] [-obs-interval N] [-obs-csv file] [-obs-jsonl file] [-trace file]
 //	       [-flightrec prefix] [-cpuprofile file] [-memprofile file]
+//
+// -sample switches to SMARTS-style sampled simulation: short detailed
+// windows measure CPI, the gaps between them run under a functional
+// model, and the output is a CPI confidence interval plus extrapolated
+// IPC/cycles instead of exact statistics (-v is ignored).
 //
 // Observability: -obs attaches the probe bus and prints per-mode
 // time-series and per-depth prefetch summaries; -obs-csv / -obs-jsonl
@@ -48,6 +54,12 @@ func run() int {
 	obsInterval := flag.Uint64("obs-interval", obs.DefaultSampleInterval, "sampler window width in CPU cycles")
 	obsCSV := flag.String("obs-csv", "", "write windowed samples as CSV to `file` (implies -obs)")
 	obsJSONL := flag.String("obs-jsonl", "", "write windowed samples as JSON Lines to `file` (implies -obs)")
+	sample := flag.Bool("sample", false, "SMARTS-style sampled simulation: CPI estimate with confidence interval instead of an exact run")
+	samplePeriod := flag.Uint64("sample-period", 0, "sampling period in instructions (0 = default)")
+	sampleWarmup := flag.Uint64("sample-warmup", 0, "detailed warmup instructions per window (0 = default)")
+	sampleDetail := flag.Uint64("sample-detail", 0, "measured detailed instructions per window (0 = default)")
+	sampleFuncWarm := flag.Uint64("sample-funcwarm", 0, "bound functional warming to the last N instructions before each window (0 = warm the whole gap)")
+	sampleConf := flag.Float64("sample-confidence", 0, "confidence level for the CPI interval: 0.90, 0.95 or 0.99 (0 = default)")
 	flightPrefix := flag.String("flightrec", "", "arm the anomaly flight recorder; triage bundles go to `prefix`-<mode>-bN.json/.txt")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to `file` (implies -obs)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
@@ -147,18 +159,38 @@ func run() int {
 			cfg.Obs = bus
 		}
 
-		res, err := sim.Run(*bench, cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+		var res sim.Result
+		if *sample {
+			sres, err := sim.Sampled(*bench, cfg, sim.SampleConfig{
+				Period: *samplePeriod, Warmup: *sampleWarmup, Detail: *sampleDetail,
+				FuncWarmup: *sampleFuncWarm, Confidence: *sampleConf,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if baseline == 0 {
+				baseline = sres.EstCycles
+			}
+			gain := 100 * (float64(baseline)/float64(sres.EstCycles) - 1)
+			fmt.Printf("%-4s sampled CPI=%.4f ±%.4f (%d%% CI %.4f-%.4f) windows=%d estIPC=%.3f estCycles=%d gain-vs-first=%+.1f%% wall=%.3fs\n",
+				mode, sres.CPIMean, sres.CPIHalfWidth, int(sres.Confidence*100+0.5),
+				sres.CILo, sres.CIHi, sres.Windows, sres.EstIPC, sres.EstCycles, gain, sres.WallSeconds)
+		} else {
+			var err error
+			res, err = sim.Run(*bench, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			if baseline == 0 {
+				baseline = res.Cycles
+			}
+			gain := 100 * (float64(baseline)/float64(res.Cycles) - 1)
+			fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-vs-first=%+.1f%% wall=%.3fs (%.1fM cyc/s)\n",
+				mode, res.Cycles, res.IPC, gain, res.WallSeconds, res.CyclesPerSec/1e6)
 		}
-		if baseline == 0 {
-			baseline = res.Cycles
-		}
-		gain := 100 * (float64(baseline)/float64(res.Cycles) - 1)
-		fmt.Printf("%-4s cycles=%-10d IPC=%.3f gain-vs-first=%+.1f%% wall=%.3fs (%.1fM cyc/s)\n",
-			mode, res.Cycles, res.IPC, gain, res.WallSeconds, res.CyclesPerSec/1e6)
-		if *verbose {
+		if *verbose && !*sample {
 			fmt.Printf("     L1=%.3f L2=%.3f L3=%.3f | MC reads=%d writes=%d dramR=%d dramW=%d\n",
 				res.L1HitRate, res.L2HitRate, res.L3HitRate,
 				res.MC.RegularReads, res.MC.RegularWrites, res.MC.DRAMReads, res.MC.DRAMWrites)

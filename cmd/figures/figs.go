@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"asdsim"
 	"asdsim/internal/farm"
@@ -33,7 +34,7 @@ func (e *env) runAll(specs []runSpec) []asdsim.Result {
 		fs[i] = farm.Spec{Benchmark: s.bench, Mode: cfg.Mode, Config: cfg}
 	}
 	var onDone func(farm.Outcome)
-	if !e.quiet && len(fs) > 1 {
+	if !e.meterOff && len(fs) > 1 {
 		done, failed := 0, 0
 		onDone = func(o farm.Outcome) { // serialized by RunBatch
 			done++
@@ -43,12 +44,20 @@ func (e *env) runAll(specs []runSpec) []asdsim.Result {
 			report.Progress(os.Stderr, done, failed, len(fs), 0)
 		}
 	}
+	cacheBefore := e.pool.TraceCacheStats()
+	start := time.Now()
 	outs, err := e.pool.RunBatch(context.Background(), fs, e.store, onDone)
+	wall := time.Since(start)
 	if onDone != nil {
 		fmt.Fprint(os.Stderr, "\r\033[K") // erase the meter before tables print
 	}
 	if err != nil {
 		log.Fatalf("figures: %v", err)
+	}
+	if !e.quiet && len(fs) > 1 {
+		reuses := e.pool.TraceCacheStats().Hits - cacheBefore.Hits
+		fmt.Fprintf(os.Stderr, "[matrix] %d cells in %.2fs (%.1f cells/s) | trace-batch: %d reuses\n",
+			len(fs), wall.Seconds(), float64(len(fs))/wall.Seconds(), reuses)
 	}
 	res := make([]asdsim.Result, len(outs))
 	for i, o := range outs {

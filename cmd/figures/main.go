@@ -41,9 +41,13 @@ type env struct {
 	// store, when non-nil, persists every cell and resumes repeats
 	// without re-simulating (figures across runs share one matrix).
 	store *farm.Store
-	// quiet suppresses the in-place progress meter (forced when stderr
-	// is not a terminal, so piped output stays clean).
+	// quiet suppresses the per-matrix summary line on stderr (-quiet
+	// flag only; piping does not imply it, so CI can grep the summary).
 	quiet bool
+	// meterOff additionally suppresses the in-place progress meter
+	// (-quiet, or stderr not a terminal: its \r rewrites would litter a
+	// piped stream).
+	meterOff bool
 }
 
 var experiments = []experiment{
@@ -74,7 +78,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	storePath := flag.String("store", "", "results store (file or segment directory); repeat runs resume instead of re-simulating")
-	quiet := flag.Bool("quiet", false, "suppress the in-place progress meter (automatic when stderr is piped)")
+	quiet := flag.Bool("quiet", false, "suppress the progress meter and per-matrix summary lines (the meter alone is suppressed automatically when stderr is piped)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -100,7 +104,8 @@ func main() {
 		}
 		defer store.Close()
 	}
-	e := &env{budget: *budget, seed: *seed, pool: pool, store: store, quiet: *quiet || !stderrIsTerminal()}
+	e := &env{budget: *budget, seed: *seed, pool: pool, store: store,
+		quiet: *quiet, meterOff: *quiet || !stderrIsTerminal()}
 	if args[0] == "all" {
 		for _, ex := range experiments {
 			banner(ex)

@@ -31,6 +31,7 @@ type Cache struct {
 	name     string
 	sets     int
 	setMask  uint64 // sets-1 when sets is a power of two, else 0
+	setShift uint   // k when sets == 3<<k (the Power5+ 3-slice geometries), else 0
 	assoc    int
 	fullMask uint16
 	ident    uint64 // identity recency permutation for this assoc
@@ -73,6 +74,8 @@ func New(name string, sizeBytes, assoc int) *Cache {
 	}
 	if sets&(sets-1) == 0 {
 		c.setMask = uint64(sets - 1)
+	} else if third := sets / 3; sets%3 == 0 && third&(third-1) == 0 {
+		c.setShift = uint(bits.TrailingZeros(uint(third)))
 	}
 	c.fullMask = uint16(1)<<assoc - 1
 	for w := 0; w < assoc; w++ {
@@ -99,9 +102,19 @@ func (c *Cache) SizeBytes() int { return c.sets * c.assoc * mem.LineSize }
 // setOf maps a line to its set by modulo, which accommodates the
 // Power5+'s non-power-of-two L2 (three 640 KB slices, 1536 sets total);
 // power-of-two geometries take the mask fast path (no hardware divide).
+// The 3-slice geometries (sets = 3*2^k, both the L2 and L3 defaults)
+// decompose l mod 3*2^k == (l>>k mod 3)<<k | l&(2^k-1), turning the
+// runtime divide into a shift plus a constant modulo the compiler
+// strength-reduces to a multiply. All three paths compute the same
+// value.
 func (c *Cache) setOf(l mem.Line) int {
 	if c.setMask != 0 {
 		return int(uint64(l) & c.setMask)
+	}
+	if c.setShift != 0 {
+		q := uint64(l) >> c.setShift
+		r := uint64(l) & (1<<c.setShift - 1)
+		return int((q%3)<<c.setShift | r)
 	}
 	return int(uint64(l) % uint64(c.sets))
 }
@@ -186,6 +199,39 @@ func (c *Cache) Insert(l mem.Line, dirty bool) (Victim, bool) {
 		}
 	}
 	// Victim: the first invalid way, else the set's LRU way.
+	var way int
+	var v Victim
+	evicted := false
+	if vm != c.fullMask {
+		way = bits.TrailingZeros16(^vm & c.fullMask)
+	} else {
+		way = int(c.order[set] >> (4 * (c.assoc - 1)) & 0xF)
+		v = Victim{Line: mem.Line(c.tags[base+way]), Dirty: c.dirty[set]>>way&1 == 1}
+		evicted = true
+	}
+	c.tags[base+way] = uint64(l)
+	c.valid[set] |= 1 << way
+	if dirty {
+		c.dirty[set] |= 1 << way
+	} else {
+		c.dirty[set] &^= 1 << way
+	}
+	c.touchMRU(set, way)
+	return v, evicted
+}
+
+// InsertAbsent is Insert for lines the caller has proven are not in
+// the cache (a lookup just missed, or a structural invariant rules
+// presence out — e.g. victim-cache exclusivity). It skips Insert's
+// presence scan, going straight to victim selection: O(1) instead of
+// O(assoc). Inserting a line that IS present corrupts the set (two
+// ways with one tag), so callers must hold a real absence proof.
+//
+//asd:hotpath
+func (c *Cache) InsertAbsent(l mem.Line, dirty bool) (Victim, bool) {
+	set := c.setOf(l)
+	base := set * c.assoc
+	vm := c.valid[set]
 	var way int
 	var v Victim
 	evicted := false

@@ -299,3 +299,63 @@ func BenchmarkHierarchyAccessHit(b *testing.B) {
 		h.Access(1, false, 0)
 	}
 }
+
+// InsertAbsent must behave exactly like Insert whenever its absence
+// precondition holds: drive two identical caches with a pseudo-random
+// line stream, inserting through Insert on one and (absence-checked)
+// InsertAbsent on the other, and require identical victims and final
+// residency. The 12-set geometry exercises the 3*2^k set decomposition
+// alongside the divide path correctness proven below.
+func TestInsertAbsentMatchesInsert(t *testing.T) {
+	a := New("a", 12*128*4, 4) // 12 sets = 3*2^2, 4 ways
+	b := New("b", 12*128*4, 4)
+	rng := uint64(1)
+	for i := 0; i < 4096; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		l := mem.Line(rng >> 33 & 127) // 128 hot lines -> heavy set conflict
+		dirty := rng>>32&1 == 1
+		va, eva := a.Insert(l, dirty)
+		var vb Victim
+		var evb bool
+		if b.Contains(l) {
+			vb, evb = b.Insert(l, dirty) // refresh path; InsertAbsent forbidden
+		} else {
+			vb, evb = b.InsertAbsent(l, dirty)
+		}
+		if va != vb || eva != evb {
+			t.Fatalf("step %d line %d: Insert -> (%+v,%v), InsertAbsent path -> (%+v,%v)", i, l, va, eva, vb, evb)
+		}
+	}
+	for l := mem.Line(0); l < 128; l++ {
+		if a.Contains(l) != b.Contains(l) {
+			t.Fatalf("residency diverges at line %d", l)
+		}
+		pa, da := a.Invalidate(l)
+		pb, db := b.Invalidate(l)
+		if pa != pb || da != db {
+			t.Fatalf("dirty state diverges at line %d", l)
+		}
+	}
+}
+
+// The three setOf paths (power-of-two mask, 3*2^k decomposition, plain
+// modulo) must agree; exercised via residency in same-set geometries.
+func TestSetOfPathsAgree(t *testing.T) {
+	// sets=12 takes the 3*2^k path; an equivalent plain-modulo geometry
+	// is forced by a 5-slice set count (sets=20 is neither 2^k nor
+	// 3*2^k). Both must place line l in set l%sets: a direct-mapped
+	// cache then evicts exactly on same-set collision.
+	for _, sets := range []int{12, 20} {
+		c := New("t", sets*128, 1)
+		for l := 0; l < 4*sets; l++ {
+			v, ev := c.Insert(mem.Line(l), false)
+			if l >= sets {
+				if !ev || int(v.Line) != l-sets {
+					t.Fatalf("sets=%d: inserting %d evicted %+v (ev=%v), want %d", sets, l, v, ev, l-sets)
+				}
+			} else if ev {
+				t.Fatalf("sets=%d: unexpected eviction %+v at line %d", sets, v, l)
+			}
+		}
+	}
+}

@@ -160,34 +160,41 @@ func (h *Hierarchy) Fill(line mem.Line, store bool) []mem.Line {
 
 // FillL2Only installs a prefetched line into the L2 without touching the
 // L1, which is how the Power5+ processor-side prefetcher stages its
-// further-ahead lines. The returned slice aliases a scratch buffer and
-// is valid only until the next hierarchy call.
+// further-ahead lines. Callers must only fill lines that are not
+// already L2 resident (the prefetch launch checks Contains and the
+// flight table dedups in-flight lines). The returned slice aliases a
+// scratch buffer and is valid only until the next hierarchy call.
 //
 //asd:hotpath
 func (h *Hierarchy) FillL2Only(line mem.Line) []mem.Line {
 	h.wbs = h.wbs[:0]
-	if v, ev := h.L2.Insert(line, false); ev {
+	if v, ev := h.L2.InsertAbsent(line, false); ev {
 		h.spillToL3(v)
 	}
 	return h.wbs
 }
 
 // fillL2 inserts into L2 (spilling its victim to L3) and then into L1,
-// appending any memory writebacks to h.wbs.
+// appending any memory writebacks to h.wbs. Every caller holds an L2
+// absence proof — the line either just missed the L2 (demand fill) or
+// was just invalidated out of the L3 after missing the L2 (victim
+// promote) — so the scan-free insert applies.
 func (h *Hierarchy) fillL2(line mem.Line, dirty bool) {
-	if v, ev := h.L2.Insert(line, dirty); ev {
+	if v, ev := h.L2.InsertAbsent(line, dirty); ev {
 		h.spillToL3(v)
 	}
 	h.fillL1(line, false)
 }
 
-// fillL1 inserts into L1; L1 victims are write-through into L2 here
-// because the modelled L1 is store-in: dirty victims merge into L2.
-// Memory writebacks are appended to h.wbs.
+// fillL1 inserts into L1 (callers have seen the line miss it); L1
+// victims are write-through into L2 here because the modelled L1 is
+// store-in: dirty victims merge into L2. Memory writebacks are
+// appended to h.wbs.
 func (h *Hierarchy) fillL1(line mem.Line, dirty bool) {
-	if v, ev := h.L1.Insert(line, dirty); ev && v.Dirty {
+	if v, ev := h.L1.InsertAbsent(line, dirty); ev && v.Dirty {
 		// Dirty L1 victim merges into L2 (it is normally present;
-		// if it was evicted from L2 first, reinstall it dirty).
+		// if it was evicted from L2 first, reinstall it dirty). No
+		// absence proof here, so the scanning Insert stays.
 		if v2, ev2 := h.L2.Insert(v.Line, true); ev2 {
 			h.spillToL3(v2)
 		}
@@ -195,9 +202,12 @@ func (h *Hierarchy) fillL1(line mem.Line, dirty bool) {
 }
 
 // spillToL3 pushes an L2 victim into the L3; dirty L3 victims become
-// memory writebacks appended to h.wbs.
+// memory writebacks appended to h.wbs. The L3 is a strict victim
+// cache — lines enter it only when leaving the L2 and are invalidated
+// out of it when promoted back — so an L2 victim is never already L3
+// resident and the scan-free insert applies.
 func (h *Hierarchy) spillToL3(v Victim) {
-	if v3, ev3 := h.L3.Insert(v.Line, v.Dirty); ev3 && v3.Dirty {
+	if v3, ev3 := h.L3.InsertAbsent(v.Line, v.Dirty); ev3 && v3.Dirty {
 		h.WritebacksToMemory++
 		h.wbs = append(h.wbs, v3.Line)
 	}

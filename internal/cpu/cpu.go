@@ -102,6 +102,16 @@ func (t *Thread) NextRecord() (trace.Record, bool) {
 	return rec, true
 }
 
+// SkipRetired bulk-retires delta instructions whose trace records the
+// caller consumed directly from the thread's source (the sampled
+// fast-forward's reuse-bounded skip): the clock and retirement count
+// advance exactly as per-record NextRecord calls would have. The
+// caller must keep delta within the thread's remaining budget.
+func (t *Thread) SkipRetired(delta uint64) {
+	t.Now += delta
+	t.Instructions += delta
+}
+
 // ChargeHit adds a cache-hit latency to the thread clock (loads only; the
 // store buffer hides store hit latency).
 //

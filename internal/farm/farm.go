@@ -23,6 +23,7 @@ import (
 
 	"asdsim/internal/obs"
 	"asdsim/internal/sim"
+	"asdsim/internal/workload"
 )
 
 // Spec describes one simulation job: a benchmark run under a full
@@ -32,6 +33,12 @@ type Spec struct {
 	Mode      sim.Mode   `json:"mode"`
 	Config    sim.Config `json:"config"`
 
+	// Sample, when non-nil, runs the job under SMARTS-style sampled
+	// simulation instead of an exact run: the outcome carries the CPI
+	// confidence interval in Sampled, and Result holds the extrapolated
+	// estimate (sim.SampledResult.AsResult).
+	Sample *sim.SampleConfig `json:"sample,omitempty"`
+
 	// Timeout bounds one attempt's wall-clock time; zero means none.
 	Timeout time.Duration `json:"timeout,omitempty"`
 	// Retries is how many times a failed attempt is retried before the
@@ -40,14 +47,17 @@ type Spec struct {
 }
 
 // Key returns the spec's stable identity: a SHA-256 over the benchmark,
-// mode and full configuration. Execution policy (Timeout, Retries) does
-// not affect identity, so a resumed run may change it freely.
+// mode, full configuration and sampling parameters (nil Sample is
+// omitted, so exact-run keys are unchanged from before sampling
+// existed). Execution policy (Timeout, Retries) does not affect
+// identity, so a resumed run may change it freely.
 func (s Spec) Key() string {
 	b, err := json.Marshal(struct {
 		Benchmark string
 		Mode      sim.Mode
 		Config    sim.Config
-	}{s.Benchmark, s.Mode, s.Config})
+		Sample    *sim.SampleConfig `json:",omitempty"`
+	}{s.Benchmark, s.Mode, s.Config, s.Sample})
 	if err != nil {
 		// Config is a tree of plain exported value fields; this cannot
 		// fail for any constructible Spec.
@@ -65,7 +75,10 @@ type Outcome struct {
 	Engine    string      `json:"engine,omitempty"`
 	Seed      uint64      `json:"seed"`
 	Result    *sim.Result `json:"result,omitempty"`
-	Err       string      `json:"error,omitempty"`
+	// Sampled carries the CPI confidence interval of a sampled job
+	// (Spec.Sample != nil); Result then holds its extrapolated estimate.
+	Sampled *sim.SampledResult `json:"sampled,omitempty"`
+	Err     string             `json:"error,omitempty"`
 	// Panics holds the recovered value and stack of every attempt that
 	// panicked, for post-mortem without a crashed batch.
 	Panics   []string `json:"panics,omitempty"`
@@ -89,8 +102,15 @@ type Options struct {
 	// Backoff is the first retry's delay, doubled per subsequent retry
 	// and capped at 32x; defaults to 50ms.
 	Backoff time.Duration
-	// Run overrides the job body (tests); defaults to sim.RunContext.
+	// Run overrides the job body (tests); the default runs the
+	// simulator through the pool's shared-trace sim.Batch, so jobs of
+	// the same (benchmark, seed, threads, budget) materialize their
+	// workload trace once per pool instead of once per job.
 	Run RunFunc
+	// NoSharedTraces reverts the default Run to per-job sim.RunContext
+	// (live generators, no trace cache). Outcomes are bit-identical
+	// either way; this only trades memory for trace regeneration.
+	NoSharedTraces bool
 	// Metrics receives the pool's counters; one is created if nil.
 	Metrics *Metrics
 	// Instrument, when set, is invoked before every attempt. The
@@ -112,6 +132,10 @@ var ErrPoolClosed = errors.New("farm: pool closed")
 type Pool struct {
 	opts    Options
 	metrics *Metrics
+	// batch is the pool's shared-trace runner (nil under
+	// Options.NoSharedTraces); the default Run and all sampled jobs go
+	// through it.
+	batch *sim.Batch
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -135,16 +159,26 @@ func New(opts Options) *Pool {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 50 * time.Millisecond
 	}
+	var batch *sim.Batch
+	if !opts.NoSharedTraces {
+		batch = sim.NewBatch()
+	}
 	if opts.Run == nil {
-		opts.Run = func(ctx context.Context, s Spec) (sim.Result, error) {
-			return sim.RunContext(ctx, s.Benchmark, s.Config)
+		if batch != nil {
+			opts.Run = func(ctx context.Context, s Spec) (sim.Result, error) {
+				return batch.RunContext(ctx, s.Benchmark, s.Config)
+			}
+		} else {
+			opts.Run = func(ctx context.Context, s Spec) (sim.Result, error) {
+				return sim.RunContext(ctx, s.Benchmark, s.Config)
+			}
 		}
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics()
 	}
 	opts.Metrics.setWorkers(opts.Workers)
-	p := &Pool{opts: opts, metrics: opts.Metrics}
+	p := &Pool{opts: opts, metrics: opts.Metrics, batch: batch}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -155,6 +189,16 @@ func New(opts Options) *Pool {
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.opts.Workers }
+
+// TraceCacheStats reports the pool's shared-trace cache effectiveness:
+// traces generated (Misses) and jobs that reused one (Hits). Zero under
+// Options.NoSharedTraces.
+func (p *Pool) TraceCacheStats() workload.TraceCacheStats {
+	if p.batch == nil {
+		return workload.TraceCacheStats{}
+	}
+	return p.batch.CacheStats()
+}
 
 // Metrics returns the pool's live counters.
 func (p *Pool) Metrics() *Metrics { return p.metrics }
@@ -269,7 +313,24 @@ func (p *Pool) attempt(ctx context.Context, spec Spec, o *Outcome) (res sim.Resu
 			err = fmt.Errorf("farm: job %s/%v panicked: %v", spec.Benchmark, spec.Mode, rec)
 		}
 	}()
+	if spec.Sample != nil {
+		sres, serr := p.runSampled(actx, spec)
+		if serr != nil {
+			return sim.Result{}, serr
+		}
+		o.Sampled = &sres
+		return sres.AsResult(), nil
+	}
 	return p.opts.Run(actx, spec)
+}
+
+// runSampled executes one sampled attempt, through the pool's
+// shared-trace batch when it has one.
+func (p *Pool) runSampled(ctx context.Context, spec Spec) (sim.SampledResult, error) {
+	if p.batch != nil {
+		return p.batch.RunSampled(ctx, spec.Benchmark, spec.Config, *spec.Sample)
+	}
+	return sim.SampledContext(ctx, spec.Benchmark, spec.Config, *spec.Sample)
 }
 
 // RunBatch submits every spec, waits for all of them, and returns

@@ -38,6 +38,10 @@ type Matrix struct {
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 	// Retries is the per-job retry budget.
 	Retries int `json:"retries,omitempty"`
+	// Sample, when non-nil, runs every cell under SMARTS-style sampled
+	// simulation with these parameters (zero fields take the sim
+	// defaults) instead of exact simulation.
+	Sample *sim.SampleConfig `json:"sample,omitempty"`
 }
 
 // ParseSuite resolves a suite name case-insensitively.
@@ -116,6 +120,11 @@ func (m Matrix) Specs() ([]Spec, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.Sample != nil {
+		if err := m.Sample.WithDefaults().Validate(); err != nil {
+			return nil, err
+		}
+	}
 
 	budget := m.Budget
 	if budget == 0 {
@@ -147,6 +156,7 @@ func (m Matrix) Specs() ([]Spec, error) {
 				Benchmark: b,
 				Mode:      mode,
 				Config:    cfg,
+				Sample:    m.Sample,
 				Timeout:   time.Duration(m.TimeoutSec * float64(time.Second)),
 				Retries:   m.Retries,
 			})

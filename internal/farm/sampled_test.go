@@ -1,0 +1,143 @@
+package farm
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"asdsim/internal/sim"
+)
+
+// Spec keys predating the Sample field must be unchanged: a nil Sample
+// marshals to the exact byte stream the old three-field key struct
+// produced, so stores written by earlier farm versions still resume.
+func TestSpecKeyStableWithNilSample(t *testing.T) {
+	s := testSpec("GemsFDTD", sim.PMS)
+	legacy, err := json.Marshal(struct {
+		Benchmark string
+		Mode      sim.Mode
+		Config    sim.Config
+	}{s.Benchmark, s.Mode, s.Config})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(legacy)
+	if want := hex.EncodeToString(sum[:]); s.Key() != want {
+		t.Fatalf("nil-Sample key %s != legacy key %s; pre-sampling stores would not resume", s.Key(), want)
+	}
+}
+
+// Sampling parameters are part of job identity: a sampled cell must
+// never collide with its exact counterpart or with a differently
+// sampled one in a results store.
+func TestSpecKeySampleDistinguishes(t *testing.T) {
+	exact := testSpec("GemsFDTD", sim.PMS)
+	sampled := exact
+	sc := sim.DefaultSampleConfig()
+	sampled.Sample = &sc
+	if exact.Key() == sampled.Key() {
+		t.Error("sampled spec shares a key with the exact spec")
+	}
+	other := exact
+	sc2 := sim.DefaultSampleConfig()
+	sc2.Period = 150_000
+	other.Sample = &sc2
+	if sampled.Key() == other.Key() {
+		t.Error("different sampling schedules share a key")
+	}
+}
+
+// A sampled job through the pool must populate Outcome.Sampled and
+// shape Outcome.Result as the estimate's AsResult projection.
+func TestPoolRunsSampledJob(t *testing.T) {
+	pool := New(Options{Workers: 2})
+	defer pool.Close()
+
+	sc := sim.DefaultSampleConfig()
+	spec := Spec{Benchmark: "milc", Mode: sim.PMS, Config: sim.Default(sim.PMS, 500_000), Sample: &sc}
+	out, err := pool.RunBatch(context.Background(), []Spec{spec}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := out[0]
+	if !o.OK() {
+		t.Fatalf("sampled job failed: %+v", o)
+	}
+	if o.Sampled == nil {
+		t.Fatal("Outcome.Sampled is nil for a sampled spec")
+	}
+	if o.Sampled.Windows < 2 || o.Sampled.CPIHalfWidth <= 0 {
+		t.Fatalf("degenerate sampled estimate: %+v", o.Sampled)
+	}
+	want := o.Sampled.AsResult()
+	if o.Result.Cycles != want.Cycles || o.Result.Instructions != want.Instructions || o.Result.IPC != want.IPC {
+		t.Fatalf("Result %+v is not the AsResult projection %+v", o.Result, want)
+	}
+	// An invalid sampling schedule fails the job, not the batch.
+	bad := spec
+	bad.Sample = &sim.SampleConfig{Confidence: 0.5}
+	out, err = pool.RunBatch(context.Background(), []Spec{bad}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].OK() || out[0].Err == "" {
+		t.Fatalf("invalid sample config produced %+v, want per-job failure", out[0])
+	}
+}
+
+// Sampled outcomes must be bit-identical at any worker count, exactly
+// like exact ones (the determinism suite pins the latter).
+func TestSampledOutcomesBitIdenticalAcrossWorkers(t *testing.T) {
+	sc := sim.SampleConfig{Period: 100_000, Warmup: 5_000, Detail: 10_000, FuncWarmup: 60_000, Confidence: 0.95}
+	var specs []Spec
+	for _, bench := range []string{"GemsFDTD", "milc", "lbm"} {
+		for _, mode := range []sim.Mode{sim.NP, sim.PMS} {
+			s := Spec{Benchmark: bench, Mode: mode, Config: sim.Default(mode, 400_000), Sample: &sc}
+			specs = append(specs, s)
+		}
+	}
+	run := func(workers int) string {
+		pool := New(Options{Workers: workers})
+		defer pool.Close()
+		out, err := pool.RunBatch(context.Background(), specs, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			out[i].WallMS = 0
+		}
+		b, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if serial, wide := run(1), run(8); serial != wide {
+		t.Fatalf("sampled outcomes diverge across worker counts:\n%s\n%s", serial, wide)
+	}
+}
+
+// Matrix.Sample propagates to every expanded spec, and an inconsistent
+// schedule is rejected at expansion time.
+func TestMatrixSamplePropagation(t *testing.T) {
+	sc := sim.DefaultSampleConfig()
+	m := Matrix{Benchmarks: []string{"GemsFDTD", "milc"}, Modes: []string{"NP", "PMS"}, Budget: 500_000, Sample: &sc}
+	specs, err := m.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs, want 4", len(specs))
+	}
+	for _, s := range specs {
+		if s.Sample == nil || s.Sample.Period != sc.Period {
+			t.Fatalf("spec %s/%v lost the matrix sampling schedule: %+v", s.Benchmark, s.Mode, s.Sample)
+		}
+	}
+	m.Sample = &sim.SampleConfig{Period: 1_000, Warmup: 900, Detail: 200, Confidence: 0.95}
+	if _, err := m.Specs(); err == nil {
+		t.Error("matrix with warmup+detail > period accepted")
+	}
+}

@@ -31,6 +31,11 @@ map iteration, and goroutine spawns inside the simulation packages`,
 		// Span recording shares the coordinator's clock discipline: IDs
 		// derive from span content, timestamps only from injected nows.
 		"asdsim/internal/obs/span",
+		// Trace materialization must be a pure function of (profile,
+		// seed, thread, budget) — the batched sweep's bit-identical
+		// guarantee rests on it. The TraceCache's goroutine-free,
+		// iteration-free design keeps it eligible.
+		"asdsim/internal/workload",
 	),
 	Run: runDeterminism,
 }

@@ -36,6 +36,9 @@ their same-package transitive callees`,
 		"asdsim/internal/prefetch",
 		"asdsim/internal/cpu",
 		"asdsim/internal/stats",
+		// Batched runs replay materialized traces through the kernel;
+		// any workload function a hot path reaches must certify here.
+		"asdsim/internal/workload",
 	),
 	Run: runNoalloc,
 }

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestGoldenBatchMatchesSerial extends the golden determinism contract
+// to the shared-trace path: every cell of the 16-cell golden matrix run
+// through Batch must serialize byte-identically to the committed golden
+// Result of the serial sim.Run path. One Batch serves the whole matrix,
+// so all eight cells of a benchmark replay a single materialized trace.
+func TestGoldenBatchMatchesSerial(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	b := NewBatch()
+	for _, bench := range []string{"GemsFDTD", "milc"} {
+		for _, cfg := range goldenMatrix() {
+			name := goldenName(bench, cfg)
+			t.Run(name, func(t *testing.T) {
+				res, err := b.Run(bench, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				want, err := os.ReadFile(filepath.Join(dir, name))
+				if err != nil {
+					t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("batched Result JSON diverged from golden %s — shared-trace path must be bit-identical to sim.Run", name)
+				}
+			})
+		}
+	}
+	st := b.CacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("expected trace reuse across the matrix, got stats %+v", st)
+	}
+	// 2 benchmarks × 1 thread × one (seed, budget) each → 2 generations;
+	// the other 14 cells are hits.
+	if st.Misses != 2 {
+		t.Errorf("expected 2 trace generations for 2 benchmarks, got %d", st.Misses)
+	}
+}
+
+// TestBatchFanOutRace runs many cells concurrently against one Batch —
+// shared read-only trace, per-cell private state — and checks each
+// against the serial path. Run under -race this is the data-race proof
+// for the fan-out design.
+func TestBatchFanOutRace(t *testing.T) {
+	cfgs := goldenMatrix()
+	b := NewBatch()
+	type cell struct {
+		bench string
+		cfg   Config
+	}
+	var cells []cell
+	for _, bench := range []string{"GemsFDTD", "milc"} {
+		for _, cfg := range cfgs {
+			cells = append(cells, cell{bench, cfg})
+		}
+	}
+	got := make([]Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			got[i], errs[i] = b.RunContext(context.Background(), c.bench, c.cfg)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, c := range cells {
+		if errs[i] != nil {
+			t.Fatalf("cell %s/%s/%s: %v", c.bench, c.cfg.Mode, c.cfg.Engine, errs[i])
+		}
+		want, err := Run(c.bench, c.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, _ := json.Marshal(got[i])
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("cell %s/%s/%s: concurrent batched result differs from serial", c.bench, c.cfg.Mode, c.cfg.Engine)
+		}
+	}
+}
+
+// TestBatchRunAll covers the serial driver: results arrive in cell
+// order and match the direct path.
+func TestBatchRunAll(t *testing.T) {
+	b := NewBatch()
+	cfg := Default(PMS, goldenBudget)
+	cells := []BatchCell{
+		{Benchmark: "GemsFDTD", Config: cfg},
+		{Benchmark: "milc", Config: cfg},
+	}
+	results, err := b.RunAll(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	for i, c := range cells {
+		if results[i].Benchmark != c.Benchmark {
+			t.Errorf("result %d: benchmark %q, want %q", i, results[i].Benchmark, c.Benchmark)
+		}
+		want, err := Run(c.Benchmark, c.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, _ := json.Marshal(results[i])
+		wj, _ := json.Marshal(want)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("RunAll result %d differs from serial Run", i)
+		}
+	}
+}
+
+// TestBatchInvalidBenchmark checks error paths: unknown benchmarks and
+// invalid configs fail without caching anything.
+func TestBatchInvalidBenchmark(t *testing.T) {
+	b := NewBatch()
+	if _, err := b.Run("no-such-benchmark", Default(NP, goldenBudget)); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	bad := Default(NP, goldenBudget)
+	bad.Threads = 0
+	if _, err := b.Run("GemsFDTD", bad); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+	if st := b.CacheStats(); st.Entries != 0 {
+		t.Errorf("failed runs must not populate the cache: %+v", st)
+	}
+}

@@ -126,6 +126,28 @@ type runner struct {
 	psBusy     int
 	cmdID      uint64
 	lastLine   []mem.Line // per-thread last accessed line (PS observation)
+
+	// trueLens, when non-nil, are per-thread ground-truth stream-length
+	// histograms collected at trace materialization time; collect merges
+	// them instead of live generator state (the batched path replays a
+	// materialized trace, so there are no live generators).
+	trueLens []*stats.Histogram
+
+	// Fast-forward recent-line filter (sampled mode only, one table per
+	// thread): a direct-mapped map of line -> last functional access
+	// tick. A load to a line touched within ffRecentWindow accesses is
+	// a guaranteed L1 hit (the L1 holds 4x as many lines as the window
+	// admits distinct ones), so the cache walk is skipped.
+	ffSeen   [][]mem.Line
+	ffSeenAt [][]uint32
+	ffTick   []uint32
+
+	// ffRecs/ffSrcs, when non-nil (batched runners only), expose each
+	// thread's materialized records and cursor so reuse-bounded
+	// fast-forward can skip runs of records in one bulk step instead of
+	// fetching them one at a time.
+	ffRecs [][]trace.Record
+	ffSrcs []*trace.SliceSource
 }
 
 // getFlight takes a flight from the pool (preserving waiters capacity)
@@ -296,6 +318,17 @@ func newEngine(cfg Config) prefetch.MSEngine {
 // (e.g. ErrDeadlock) instead of crashing the process, so one bad
 // configuration cannot take down a whole batch.
 func (r *runner) loop(ctx context.Context) error {
+	if err := r.loopUntil(ctx, ^uint64(0)); err != nil {
+		return err
+	}
+	return r.drainMC(ctx)
+}
+
+// loopUntil runs the event loop until every thread has either finished
+// or retired at least target instructions. With target == ^uint64(0) it
+// is the full run loop; the sampled-simulation driver calls it with
+// window boundaries to run bounded detailed segments.
+func (r *runner) loopUntil(ctx context.Context, target uint64) error {
 	done := ctx.Done()
 	var tick uint
 	for {
@@ -306,9 +339,9 @@ func (r *runner) loop(ctx context.Context) error {
 			default:
 			}
 		}
-		th := r.pickRunnable()
+		th := r.pickRunnable(target)
 		if th == nil {
-			break // all threads finished
+			break // all threads finished or past target
 		}
 		if b := th.BlockedOn(); b != nil {
 			f := r.flights[b.Line]
@@ -328,14 +361,20 @@ func (r *runner) loop(ctx context.Context) error {
 		}
 		r.execute(th, rec)
 	}
-	// Drain remaining memory traffic so power integration and thread
-	// completion times include the tail. Queued-but-unissued prefetches
-	// are dropped first: no further demand traffic will arrive to
-	// satisfy a policy that waits for queue conditions. With only
-	// in-flight DRAM traffic left, the loop fast-forwards to the next
-	// completion instead of stepping every MC cycle — the step sequence
-	// at cycles where work completes is identical, so simulated
-	// behavior is unchanged.
+	return nil
+}
+
+// drainMC drains remaining memory traffic so power integration and
+// thread completion times include the tail. Queued-but-unissued
+// prefetches are dropped first: no further demand traffic will arrive
+// to satisfy a policy that waits for queue conditions. With only
+// in-flight DRAM traffic left, the loop fast-forwards to the next
+// completion instead of stepping every MC cycle — the step sequence
+// at cycles where work completes is identical, so simulated behavior
+// is unchanged.
+func (r *runner) drainMC(ctx context.Context) error {
+	done := ctx.Done()
+	var tick uint
 	r.ctrl.FlushLPQ()
 	for r.ctrl.Busy() {
 		if tick++; done != nil && tick%ctxCheckInterval == 0 {
@@ -358,13 +397,14 @@ func (r *runner) loop(ctx context.Context) error {
 }
 
 // pickRunnable returns the unfinished thread with the smallest clock that
-// is not blocked on memory, or nil.
+// is not blocked on memory, or nil. Threads at or past target
+// instructions are treated as paused and never picked.
 //
 //asd:hotpath
-func (r *runner) pickRunnable() *cpu.Thread {
+func (r *runner) pickRunnable(target uint64) *cpu.Thread {
 	var best *cpu.Thread
 	for _, th := range r.threads {
-		if th.Finished() {
+		if th.Finished() || th.Instructions >= target {
 			continue
 		}
 		if best == nil || th.Now < best.Now {
@@ -377,7 +417,7 @@ func (r *runner) pickRunnable() *cpu.Thread {
 	// Prefer a non-blocked thread when the min-clock one is blocked.
 	if best.BlockedOn() != nil {
 		for _, th := range r.threads {
-			if !th.Finished() && th.BlockedOn() == nil {
+			if !th.Finished() && th.Instructions < target && th.BlockedOn() == nil {
 				return th
 			}
 		}
@@ -599,8 +639,14 @@ func (r *runner) collect(bench string) Result {
 		res.PSIssued = r.ps.Issued
 	}
 	res.TrueLengths = stats.NewHistogram(16)
-	for _, g := range r.gens {
-		merge(res.TrueLengths, g.TrueLengths)
+	if r.trueLens != nil {
+		for _, h := range r.trueLens {
+			merge(res.TrueLengths, h)
+		}
+	} else {
+		for _, g := range r.gens {
+			merge(res.TrueLengths, g.TrueLengths)
+		}
 	}
 	if len(r.engines) > 0 {
 		if eng, ok := r.engines[0].(*core.Engine); ok {

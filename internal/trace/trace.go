@@ -76,6 +76,19 @@ func (s *SliceSource) Next() (Record, bool) {
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
+// Pos returns the index of the record the next Next call will return.
+func (s *SliceSource) Pos() int { return s.pos }
+
+// Skip advances the cursor n records without reading them, clamped to
+// the end of the slice. Callers skipping records are responsible for
+// accounting their retirement (see cpu.Thread.SkipRetired).
+func (s *SliceSource) Skip(n int) {
+	s.pos += n
+	if s.pos > len(s.recs) {
+		s.pos = len(s.recs)
+	}
+}
+
 // Len returns the total number of records.
 func (s *SliceSource) Len() int { return len(s.recs) }
 
