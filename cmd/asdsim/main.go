@@ -6,7 +6,7 @@
 //	asdsim [-bench name] [-budget N] [-threads N] [-modes NP,PS,MS,PMS] [-engine asd|next-line|p5-style|ghb] [-v]
 //	       [-sample] [-sample-period N] [-sample-warmup N] [-sample-detail N] [-sample-funcwarm N] [-sample-confidence C]
 //	       [-obs] [-obs-interval N] [-obs-csv file] [-obs-jsonl file] [-trace file]
-//	       [-flightrec prefix] [-cpuprofile file] [-memprofile file]
+//	       [-flightrec prefix] [-explain last|addr[@cycle]] [-cpuprofile file] [-memprofile file]
 //
 // -sample switches to SMARTS-style sampled simulation: short detailed
 // windows measure CPI, the gaps between them run under a functional
@@ -22,6 +22,11 @@
 // (CAQ saturation, late-prefetch spike, bank-conflict storm, prefetch
 // waste), a triage bundle is written to <prefix>-<mode>-bN.json with a
 // human-readable report beside it as .txt.
+// -explain records per-prefetch provenance and, after each mode's run,
+// prints the causal lineage tree (epoch roll → stream → decision →
+// nomination → issue → install → outcome) for the chosen prefetch:
+// "last" picks the most recent PB hit, a byte address pins one line,
+// and an optional @cycle picks the generation active at that cycle.
 package main
 
 import (
@@ -30,10 +35,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
+	"asdsim/internal/mem"
 	"asdsim/internal/obs"
 	"asdsim/internal/obs/flightrec"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/sim"
 	"asdsim/internal/workload"
 )
@@ -61,6 +69,7 @@ func run() int {
 	sampleFuncWarm := flag.Uint64("sample-funcwarm", 0, "bound functional warming to the last N instructions before each window (0 = warm the whole gap)")
 	sampleConf := flag.Float64("sample-confidence", 0, "confidence level for the CPI interval: 0.90, 0.95 or 0.99 (0 = default)")
 	flightPrefix := flag.String("flightrec", "", "arm the anomaly flight recorder; triage bundles go to `prefix`-<mode>-bN.json/.txt")
+	explainArg := flag.String("explain", "", "record prefetch provenance and print one lineage tree per mode: 'last' or a byte address with optional @cycle (e.g. 0x1a2b00@50000)")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to `file` (implies -obs)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
@@ -118,6 +127,22 @@ func run() int {
 		jsonlFile = f
 	}
 
+	var explLine mem.Line
+	var explCycle uint64
+	var explLast bool
+	if *explainArg != "" {
+		if *sample {
+			fmt.Fprintln(os.Stderr, "-explain is incompatible with -sample (sampled runs keep no detailed provenance)")
+			return 2
+		}
+		var err error
+		explLine, explCycle, explLast, err = parseExplainTarget(*explainArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
 	exit := 0
 	var baseline uint64
 	for _, ms := range strings.Split(*modes, ",") {
@@ -157,6 +182,11 @@ func run() int {
 				bus.Attach(recorder)
 			}
 			cfg.Obs = bus
+		}
+		var provRec *prov.Recorder
+		if *explainArg != "" {
+			provRec = prov.New(prov.Options{TraceID: fmt.Sprintf("%s/%s", *bench, mode)})
+			cfg.Prov = provRec
 		}
 
 		var res sim.Result
@@ -206,6 +236,12 @@ func run() int {
 			if res.ApproxLengths != nil {
 				fmt.Printf("     trueSLH:   %v\n", res.TrueLengths)
 				fmt.Printf("     approxSLH: %v\n", res.ApproxLengths)
+			}
+		}
+		if provRec != nil {
+			if err := explainRun(provRec, explLine, explCycle, explLast); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
 			}
 		}
 		if sampler != nil {
@@ -307,6 +343,48 @@ func dumpBundles(rec *flightrec.Recorder, prefix, mode string) error {
 		}
 		fmt.Printf("     flightrec: bundle %s.json (+.txt report)\n", base)
 	}
+	return nil
+}
+
+// parseExplainTarget parses the -explain value: "last", or a byte
+// address (hex or decimal) with an optional @cycle suffix. The address
+// is truncated to its covering cache line.
+func parseExplainTarget(s string) (line mem.Line, cycle uint64, last bool, err error) {
+	if s == "last" {
+		return 0, 0, true, nil
+	}
+	addrStr, cycleStr, hasCycle := strings.Cut(s, "@")
+	a, err := strconv.ParseUint(addrStr, 0, 64)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("bad -explain address %q: %w", addrStr, err)
+	}
+	if hasCycle {
+		if cycle, err = strconv.ParseUint(cycleStr, 0, 64); err != nil {
+			return 0, 0, false, fmt.Errorf("bad -explain cycle %q: %w", cycleStr, err)
+		}
+	}
+	return mem.LineOf(mem.Addr(a)), cycle, false, nil
+}
+
+// explainRun resolves the -explain target against the mode's recorded
+// provenance stream and prints the lineage tree, indented to match the
+// other per-mode detail blocks.
+func explainRun(rec *prov.Recorder, line mem.Line, cycle uint64, last bool) error {
+	st := rec.Stream()
+	if last {
+		var ok bool
+		if line, cycle, ok = prov.LastExplainable(st); !ok {
+			return fmt.Errorf("provenance: no explainable prefetch recorded (%d records)", len(st.Records))
+		}
+	}
+	lin, err := prov.Explain(st, line, cycle)
+	if err != nil {
+		return fmt.Errorf("provenance: %w", err)
+	}
+	// Buffer the tree so multi-write lines land in one Write each.
+	var b strings.Builder
+	lin.WriteTree(&b)
+	prefixWriter{}.Write([]byte(b.String()))
 	return nil
 }
 

@@ -7,16 +7,24 @@
 //
 //	slhdump -bench GemsFDTD -records 500000     # synthetic benchmark
 //	slhdump -file gems.asd1                     # trace file
+//	slhdump -bench GemsFDTD -epochs             # per-epoch LHT timeline
+//
+// -epochs attaches a provenance recorder to the replay engine and
+// prints one line per SLH epoch roll: the epoch index, the roll cycle,
+// and the ascending/descending LHTs the roll installed for the next
+// epoch — the table each of that epoch's prefetch decisions consulted.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"asdsim/internal/cache"
 	"asdsim/internal/core"
 	"asdsim/internal/mem"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/report"
 	"asdsim/internal/trace"
 	"asdsim/internal/workload"
@@ -27,6 +35,7 @@ func main() {
 	file := flag.String("file", "", "binary ASD1 trace file")
 	records := flag.Int("records", 500_000, "records to analyse")
 	seed := flag.Uint64("seed", 1, "workload seed (with -bench)")
+	epochs := flag.Bool("epochs", false, "print the per-epoch SLH/LHT snapshot timeline")
 	flag.Parse()
 
 	src, closer, err := openSource(*bench, *file, *seed)
@@ -44,6 +53,11 @@ func main() {
 	// stream to an ASD engine, as the memory controller would see it.
 	h := cache.NewHierarchy(cache.DefaultConfig())
 	eng := core.NewEngine(core.DefaultConfig())
+	var rec *prov.Recorder
+	if *epochs {
+		rec = prov.New(prov.Options{TraceID: "slhdump"})
+		eng.SetProv(rec, 0)
+	}
 	now := uint64(0)
 	misses := 0
 	for _, rec := range recs {
@@ -62,6 +76,48 @@ func main() {
 	if up.Total() > 0 {
 		report.Histogram(os.Stdout, "Current-epoch ascending SLH (by reads, LHTcurr)", up, 50)
 	}
+	if rec != nil {
+		printEpochTimeline(rec.Stream())
+	}
+}
+
+// printEpochTimeline renders every recorded SLH epoch roll: the LHTs
+// the roll installed (the Next tables — these decide the epoch that
+// begins) with trailing zero buckets elided.
+func printEpochTimeline(st *prov.Stream) {
+	fmt.Printf("\n--- SLH epoch timeline (%d rolls) ---\n", len(st.Epochs))
+	if len(st.Epochs) == 0 {
+		fmt.Println("no epoch completed; lower the epoch length or raise -records")
+		return
+	}
+	for _, e := range st.Epochs {
+		fmt.Printf("epoch %3d @cycle %-10d up=%s down=%s\n",
+			e.Epoch, e.Cycle, fmtLHT(e.UpNext), fmtLHT(e.DownNext))
+	}
+}
+
+// fmtLHT prints an LHT with trailing zero buckets collapsed.
+func fmtLHT(t []uint32) string {
+	n := len(t)
+	for n > 0 && t[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", t[i])
+	}
+	if n < len(t) {
+		if n > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "0×%d", len(t)-n)
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // openSource resolves the input selection.

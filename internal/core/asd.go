@@ -10,6 +10,7 @@ import (
 
 	"asdsim/internal/mem"
 	"asdsim/internal/obs"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/slh"
 	"asdsim/internal/stats"
 	"asdsim/internal/stream"
@@ -69,6 +70,11 @@ type Engine struct {
 
 	bus *obs.Bus // nil when no observer is attached
 
+	// prov records prefetch provenance when attached (nil otherwise);
+	// thread identifies this engine in the shared recorder.
+	prov   *prov.Recorder
+	thread int32
+
 	out []mem.Line // reusable nomination scratch
 }
 
@@ -94,6 +100,32 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // SetObserver attaches a probe bus (nil detaches).
 func (e *Engine) SetObserver(b *obs.Bus) { e.bus = b }
+
+// SetProv attaches a provenance recorder (nil detaches) identifying
+// this engine as thread. It wires the stream filter's slot-lifecycle
+// hook through to the recorder; attach before the run starts.
+func (e *Engine) SetProv(r *prov.Recorder, thread int32) {
+	e.prov = r
+	e.thread = thread
+	if r == nil {
+		e.filter.SetSlotHook(nil)
+		return
+	}
+	e.filter.SetSlotHook(func(op stream.SlotOp, now uint64, line mem.Line, length int, dir mem.Direction) {
+		var pop prov.Op
+		switch op {
+		case stream.SlotBirth:
+			pop = prov.OpSlotBirth
+		case stream.SlotExtend:
+			pop = prov.OpSlotExtend
+		case stream.SlotEnd:
+			pop = prov.OpSlotEnd
+		default:
+			return
+		}
+		r.OnSlot(thread, pop, now, line, length, int8(dir))
+	})
+}
 
 // onStreamEnd routes a completed stream into the direction's LHT pair.
 // A length-1 stream has no direction (the Stream Filter only commits to
@@ -146,6 +178,10 @@ func (e *Engine) ObserveRead(line mem.Line, now uint64) []mem.Line {
 	}
 	if d := tbl.PrefetchDegree(o.Length, e.cfg.MaxDegree); d > 0 {
 		out = appendRun(out, line, int(o.Dir), d)
+		if e.prov != nil {
+			lhtK, lhtKm := tbl.Witness(o.Length, d)
+			e.prov.OnDecision(e.thread, now, line, tbl == e.down, o.Length, d, lhtK, lhtKm)
+		}
 	}
 	e.out = out
 	e.PrefetchesIssued += uint64(len(out))
@@ -175,6 +211,12 @@ func (e *Engine) Tick(now uint64) { e.filter.Tick(now) }
 //asd:allow hotpath-noalloc epoch roll runs once per EpochLen stream-ends, off the per-cycle path, and snapshots the SLH
 func (e *Engine) rollEpoch(now uint64) {
 	e.filter.FlushEpoch()
+	if e.prov != nil {
+		// After the flush (live streams folded into LHTnext), before the
+		// rollover: the snapshot's Curr decided the ending epoch, Next is
+		// what EpochEnd installs for the one beginning.
+		e.prov.OnEpochRoll(e.thread, now, e.up.Epochs+1, e.up, e.down)
+	}
 	e.up.EpochEnd()
 	e.down.EpochEnd()
 	e.readsInEpoch = 0

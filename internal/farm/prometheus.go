@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	prom "asdsim/internal/metrics"
+	"asdsim/internal/workload"
 )
 
 // This file adapts the farm's live state into Prometheus metric
@@ -146,5 +147,26 @@ func (s *Server) buildRegistry() *prom.Registry {
 	if s.telemetry != nil {
 		s.telemetry.addTo(reg)
 	}
+	if s.provenance != nil {
+		s.provenance.addTo(reg)
+	}
+	if tc, ok := s.runner.(traceCacheSource); ok {
+		addTraceCacheTo(reg, tc.TraceCacheStats())
+	}
 	return reg
+}
+
+// addTraceCacheTo folds the shared-trace cache's effectiveness and
+// residency into reg.
+func addTraceCacheTo(reg *prom.Registry, st workload.TraceCacheStats) {
+	reg.Counter("farm_trace_cache_hits_total",
+		"Jobs served a memoized workload trace.").With().Add(float64(st.Hits))
+	reg.Counter("farm_trace_cache_misses_total",
+		"Jobs that had to materialize a workload trace.").With().Add(float64(st.Misses))
+	reg.Counter("farm_trace_cache_evictions_total",
+		"Materialized traces dropped by the LRU byte budget.").With().Add(float64(st.Evictions))
+	reg.Gauge("farm_trace_cache_entries",
+		"Materialized traces currently resident.").With().Set(float64(st.Entries))
+	reg.Gauge("farm_trace_cache_bytes",
+		"Bytes of materialized trace currently resident.").With().Set(float64(st.Bytes))
 }

@@ -9,9 +9,12 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"asdsim/internal/mem"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/obs/span"
 	"asdsim/internal/sim"
 )
@@ -39,11 +42,12 @@ type Runner interface {
 // A non-nil store gives every submitted job resume-from-partial-results
 // against the same store the CLI writes.
 type Server struct {
-	runner    Runner
-	store     *Store
-	pprof     bool
-	expvar    *expvar.Map
-	telemetry *Telemetry
+	runner     Runner
+	store      *Store
+	pprof      bool
+	expvar     *expvar.Map
+	telemetry  *Telemetry
+	provenance *Provenance
 	// sseInterval is the /events push period; tests shrink it.
 	sseInterval time.Duration
 
@@ -90,6 +94,15 @@ func (s *Server) AttachTelemetry(t *Telemetry) { s.telemetry = t }
 
 // Telemetry returns the attached aggregator (nil when none).
 func (s *Server) Telemetry() *Telemetry { return s.telemetry }
+
+// AttachProvenance registers the collector feeding /explain, /diff, the
+// dashboard's decision-timeline panel and the provenance Prometheus
+// counters. The caller wires p.Attach into the pool's
+// Options.Provenance.
+func (s *Server) AttachProvenance(p *Provenance) { s.provenance = p }
+
+// Provenance returns the attached collector (nil when none).
+func (s *Server) Provenance() *Provenance { return s.provenance }
 
 // Shutdown cancels every running job, wakes all /events streams so they
 // terminate, and waits — up to ctx's deadline — for the jobs to reach a
@@ -152,6 +165,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /flightrec", s.handleFlightrecList)
 	mux.HandleFunc("GET /flightrec/{id}", s.handleFlightrecBundle)
+	mux.HandleFunc("GET /explain/{key}", s.handleExplain)
+	mux.HandleFunc("GET /diff/{a}/{b}", s.handleDiff)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -585,4 +600,124 @@ func (s *Server) handleFlightrecBundle(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	b.WriteJSON(w)
+}
+
+// loadProvStream fetches one stored provenance stream by spec key,
+// resolving unique key prefixes like the CLI (and git) do.
+func (s *Server) loadProvStream(key string) (*prov.Stream, int, error) {
+	if s.provenance == nil || s.provenance.Store() == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("no provenance store attached")
+	}
+	ps := s.provenance.Store()
+	st, ok, err := ps.Load(key)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	if !ok {
+		keys, kerr := ps.Keys()
+		if kerr != nil {
+			return nil, http.StatusInternalServerError, kerr
+		}
+		var match string
+		for _, k := range keys {
+			if strings.HasPrefix(k, key) {
+				if match != "" {
+					return nil, http.StatusBadRequest,
+						fmt.Errorf("key prefix %q is ambiguous", key)
+				}
+				match = k
+			}
+		}
+		if match == "" {
+			return nil, http.StatusNotFound, fmt.Errorf("no provenance stream for key %q", key)
+		}
+		if st, ok, err = ps.Load(match); err != nil {
+			return nil, http.StatusInternalServerError, err
+		} else if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no provenance stream for key %q", match)
+		}
+	}
+	return st, http.StatusOK, nil
+}
+
+// handleExplain serves the lineage tree of one prefetch from a stored
+// run's provenance sidecar: the last explainable prefetch by default,
+// or ?line=0x..(&cycle=N) to pick one. ?format=json returns the
+// structured lineage.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	st, status, err := s.loadProvStream(key)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	q := r.URL.Query()
+	var line mem.Line
+	cycle := ^uint64(0) // no ?cycle=: the line's newest generation
+	if ls := q.Get("line"); ls != "" {
+		v, perr := strconv.ParseUint(ls, 0, 64)
+		if perr != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad line %q: %w", ls, perr))
+			return
+		}
+		line = mem.Line(v)
+		if cs := q.Get("cycle"); cs != "" {
+			if cycle, perr = strconv.ParseUint(cs, 0, 64); perr != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cycle %q: %w", cs, perr))
+				return
+			}
+		}
+	} else {
+		var ok bool
+		if line, cycle, ok = prov.LastExplainable(st); !ok {
+			writeErr(w, http.StatusNotFound,
+				fmt.Errorf("stream for %q records no explainable prefetch", key))
+			return
+		}
+	}
+	lin, err := prov.Explain(st, line, cycle)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if q.Get("format") == "json" {
+		writeJSON(w, http.StatusOK, lin)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	lin.WriteTree(w)
+}
+
+// handleDiff attributes the outcome delta between two stored runs to
+// their decision divergences: first diverging SLH epoch plus
+// per-stream-length lifecycle deltas, with cycles/IPC context pulled
+// from the outcome store when available. ?format=json returns the
+// structured report.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	keyA, keyB := r.PathValue("a"), r.PathValue("b")
+	a, status, err := s.loadProvStream(keyA)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	b, status, err := s.loadProvStream(keyB)
+	if err != nil {
+		writeErr(w, status, err)
+		return
+	}
+	rep := prov.Diff(a, b)
+	if s.store != nil {
+		if o, ok := s.store.Lookup(keyA); ok && o.Result != nil {
+			rep.CyclesA, rep.IPCA = o.Result.Cycles, o.Result.IPC
+		}
+		if o, ok := s.store.Lookup(keyB); ok && o.Result != nil {
+			rep.CyclesB, rep.IPCB = o.Result.Cycles, o.Result.IPC
+		}
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rep.WriteReport(w)
 }

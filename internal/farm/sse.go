@@ -5,17 +5,28 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"asdsim/internal/workload"
 )
 
 // eventsPayload is one SSE frame's body: the pool snapshot plus every
-// job's live progress, gains, sparkline and anomalies.
+// job's live progress, gains, sparkline, anomalies, per-run decision
+// timelines and the shared-trace cache state.
 type eventsPayload struct {
-	Snapshot  Snapshot         `json:"snapshot"`
-	Jobs      []eventsJob      `json:"jobs"`
-	Sparks    []Spark          `json:"sparks,omitempty"`
-	Anomalies []Anomaly        `json:"anomalies,omitempty"`
-	Latency   *latencyView     `json:"latency,omitempty"`
-	Cluster   *ClusterSnapshot `json:"cluster,omitempty"`
+	Snapshot   Snapshot                  `json:"snapshot"`
+	Jobs       []eventsJob               `json:"jobs"`
+	Sparks     []Spark                   `json:"sparks,omitempty"`
+	Anomalies  []Anomaly                 `json:"anomalies,omitempty"`
+	Latency    *latencyView              `json:"latency,omitempty"`
+	Cluster    *ClusterSnapshot          `json:"cluster,omitempty"`
+	Timelines  []Timeline                `json:"timelines,omitempty"`
+	TraceCache *workload.TraceCacheStats `json:"trace_cache,omitempty"`
+}
+
+// traceCacheSource is implemented by runners carrying a shared-trace
+// cache (the in-process Pool; cluster coordinators don't).
+type traceCacheSource interface {
+	TraceCacheStats() workload.TraceCacheStats
 }
 
 type eventsJob struct {
@@ -55,6 +66,13 @@ func (s *Server) eventsFrame() eventsPayload {
 	if s.telemetry != nil {
 		p.Sparks = s.telemetry.Sparks()
 		p.Anomalies = s.telemetry.Anomalies()
+	}
+	if s.provenance != nil {
+		p.Timelines = s.provenance.Timelines()
+	}
+	if tc, ok := s.runner.(traceCacheSource); ok {
+		st := tc.TraceCacheStats()
+		p.TraceCache = &st
 	}
 	p.Cluster = s.clusterSnapshot()
 	return p

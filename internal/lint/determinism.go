@@ -31,6 +31,10 @@ map iteration, and goroutine spawns inside the simulation packages`,
 		// Span recording shares the coordinator's clock discipline: IDs
 		// derive from span content, timestamps only from injected nows.
 		"asdsim/internal/obs/span",
+		// Provenance records live on the simulation goroutine and their
+		// content-derived IDs must replay identically; any clock read or
+		// map iteration would leak into the stored lineage streams.
+		"asdsim/internal/obs/prov",
 		// Trace materialization must be a pure function of (profile,
 		// seed, thread, budget) — the batched sweep's bit-identical
 		// guarantee rests on it. The TraceCache's goroutine-free,

@@ -40,6 +40,9 @@ var ExhaustiveRequiredSites = map[string][]string{
 	"asdsim/internal/obs/flightrec": {
 		"Recorder.Emit", // flight-recorder detector dispatch
 	},
+	"asdsim/internal/obs/prov": {
+		"Recorder.Emit", // provenance lifecycle-event dispatch
+	},
 }
 
 // sentinelPrefixes name the enumeration-count sentinels ("numKinds")

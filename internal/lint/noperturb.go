@@ -22,6 +22,10 @@ nil-receiver guards on hot probe-bus methods`,
 	Scope: PathScope(
 		"asdsim/internal/obs",
 		"asdsim/internal/obs/flightrec",
+		// The provenance recorder's Emit and decision/slot/epoch hooks
+		// run on the simulation hot path; blocking there would perturb
+		// the outcomes it is supposed to witness.
+		"asdsim/internal/obs/prov",
 		"asdsim/internal/farm",
 		// Coordinator/worker telemetry recorders run inside the lease
 		// request path; they must stay lock- and channel-free.

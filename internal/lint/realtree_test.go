@@ -19,6 +19,7 @@ var realPkgs = []string{
 	"asdsim/internal/stats",
 	"asdsim/internal/obs",
 	"asdsim/internal/obs/flightrec",
+	"asdsim/internal/obs/prov",
 	"asdsim/internal/trace",
 	"asdsim/internal/cache",
 	"asdsim/internal/slh",

@@ -21,6 +21,7 @@ import (
 	"asdsim/internal/dram"
 	"asdsim/internal/mem"
 	"asdsim/internal/obs"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/prefetch"
 )
 
@@ -144,7 +145,8 @@ type Controller struct {
 	pb         *PBuffer
 	arb        arbiter
 	onReadDone ReadDoneFunc
-	bus        *obs.Bus // nil when no observer is attached
+	bus        *obs.Bus       // nil when no observer is attached
+	prov       *prov.Recorder // nil unless a provenance recorder is attached
 
 	stats Stats
 }
@@ -218,6 +220,22 @@ func (c *Controller) SetReadDone(fn ReadDoneFunc) { c.onReadDone = fn }
 // is guarded by a nil check, so a detached controller pays one branch
 // per probe.
 func (c *Controller) SetObserver(b *obs.Bus) { c.bus = b }
+
+// SetProv attaches a provenance recorder (nil detaches). The recorder
+// sees exactly the prefetch-lifecycle events the probe bus does, but
+// through a direct call, so a provenance-only run keeps the bus — and
+// every non-lifecycle probe site in the memory system — disabled.
+func (c *Controller) SetProv(r *prov.Recorder) { c.prov = r }
+
+// pfObserved reports whether prefetch-lifecycle events have a consumer.
+func (c *Controller) pfObserved() bool { return c.bus != nil || c.prov != nil }
+
+// emitPF forwards one prefetch-lifecycle event to the probe bus and the
+// provenance recorder (both nil-safe).
+func (c *Controller) emitPF(e obs.Event) {
+	c.bus.Emit(e)
+	c.prov.Emit(e)
+}
 
 // Stats returns a snapshot of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -299,9 +317,9 @@ func (c *Controller) FlushLPQ() {
 	c.stats.LPQDrops += uint64(c.lpq.Len())
 	for i := 0; i < c.lpq.Len(); i++ {
 		p := c.lpq.At(i)
-		if c.bus != nil {
-			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: p.arrival,
-				Line: p.line, V1: int64(p.depth)})
+		if c.pfObserved() {
+			c.emitPF(obs.Event{Kind: obs.KindMCPFDrop, Cycle: p.arrival,
+				Line: p.line, V1: int64(p.depth), V2: int64(obs.DropFlushed)})
 		}
 		c.putPF(p)
 	}
@@ -343,12 +361,12 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 			c.inbox.PopFront()
 			c.stats.RegularWrites++
 			if c.pb != nil {
-				if dropped, depth := c.pb.InvalidateForWrite(s.cmd.Line); dropped && c.bus != nil {
-					c.bus.Emit(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
+				if dropped, depth := c.pb.InvalidateForWrite(s.cmd.Line); dropped && c.pfObserved() {
+					c.emitPF(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
 						Line: s.cmd.Line, V1: int64(depth), V2: 1})
 				}
 			}
-			c.dropPendingPrefetch(s.cmd.Line, cpuNow)
+			c.dropPendingPrefetch(s.cmd.Line, cpuNow, obs.DropWrite)
 			c.writeQ.PushBack(s)
 			continue
 		}
@@ -370,8 +388,8 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 				// First PB check: satisfied without DRAM; the Read is
 				// squashed.
 				c.stats.PBHitsEntry++
-				if c.bus != nil {
-					c.bus.Emit(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: s.cmd.ID,
+				if c.pfObserved() {
+					c.emitPF(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: s.cmd.ID,
 						Line: s.cmd.Line, Thread: int32(s.cmd.Thread), V2: int64(depth)})
 				}
 				c.deliver(s.cmd, cpuNow+c.cfg.PBHitLatency, false)
@@ -389,7 +407,7 @@ func (c *Controller) drainInbox(cpuNow uint64) {
 		// A matching prefetch still waiting in the LPQ is squashed: the
 		// demand Read will fetch the line itself, so issuing the
 		// prefetch too would only waste a DRAM access.
-		c.dropPendingPrefetch(s.cmd.Line, cpuNow)
+		c.dropPendingPrefetch(s.cmd.Line, cpuNow, obs.DropOvertaken)
 		c.readQ.PushBack(s)
 	}
 }
@@ -408,13 +426,27 @@ func (c *Controller) observeRead(cmd mem.Command, cpuNow uint64) {
 
 // nominatePrefetch files one prefetch candidate (depth lines beyond
 // its trigger) into the LPQ unless it is redundant or the queue is
-// full.
+// full. The redundancy checks run in the same order as before cause
+// tagging, so the first matching cause is the one reported.
 func (c *Controller) nominatePrefetch(line mem.Line, depth int, cpuNow uint64) {
-	if c.pb.Contains(line) || c.findInFlightPrefetch(line) != nil || c.lpqContains(line) || c.demandPending(line) ||
-		c.lpq.Len() >= c.cfg.LPQCap {
+	cause := obs.DropUnknown
+	switch {
+	case c.pb.Contains(line):
+		cause = obs.DropPBDup
+	case c.findInFlightPrefetch(line) != nil:
+		cause = obs.DropInFlightDup
+	case c.lpqContains(line):
+		cause = obs.DropLPQDup
+	case c.demandPending(line):
+		cause = obs.DropDemandPending
+	case c.lpq.Len() >= c.cfg.LPQCap:
+		cause = obs.DropLPQFull
+	}
+	if cause != obs.DropUnknown {
 		c.stats.LPQDrops++
-		if c.bus != nil {
-			c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(depth)})
+		if c.pfObserved() {
+			c.emitPF(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line,
+				V1: int64(depth), V2: int64(cause)})
 		}
 		return
 	}
@@ -422,8 +454,8 @@ func (c *Controller) nominatePrefetch(line mem.Line, depth int, cpuNow uint64) {
 	*p = pfState{line: line, dec: c.dram.Decode(line), arrival: cpuNow, depth: depth, waiters: p.waiters}
 	c.lpq.PushBack(p)
 	c.stats.PrefetchesToLPQ++
-	if c.bus != nil {
-		c.bus.Emit(obs.Event{Kind: obs.KindMCPFNominate, Cycle: cpuNow, Line: line, V1: int64(depth)})
+	if c.pfObserved() {
+		c.emitPF(obs.Event{Kind: obs.KindMCPFNominate, Cycle: cpuNow, Line: line, V1: int64(depth)})
 	}
 }
 
@@ -466,15 +498,17 @@ func (c *Controller) findInFlightPrefetch(line mem.Line) *pfState {
 	return nil
 }
 
-// dropPendingPrefetch removes an un-issued LPQ entry for line (a Write
-// makes prefetching it pointless and the data would be stale).
-func (c *Controller) dropPendingPrefetch(line mem.Line, cpuNow uint64) {
+// dropPendingPrefetch removes an un-issued LPQ entry for line, tagged
+// with why: a Write makes prefetching it pointless (and the data would
+// be stale), an overtaking demand Read will fetch the line itself.
+func (c *Controller) dropPendingPrefetch(line mem.Line, cpuNow uint64, cause obs.DropCause) {
 	for i := 0; i < c.lpq.Len(); i++ {
 		if p := c.lpq.At(i); p.line == line {
 			c.lpq.RemoveAt(i)
 			c.stats.LPQDrops++
-			if c.bus != nil {
-				c.bus.Emit(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line, V1: int64(p.depth)})
+			if c.pfObserved() {
+				c.emitPF(obs.Event{Kind: obs.KindMCPFDrop, Cycle: cpuNow, Line: line,
+					V1: int64(p.depth), V2: int64(cause)})
 			}
 			c.putPF(p)
 			return
@@ -569,8 +603,8 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 			// Second PB check: the data arrived while the command sat
 			// in the CAQ.
 			c.stats.PBHitsLate++
-			if c.bus != nil {
-				c.bus.Emit(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: head.cmd.ID,
+			if c.pfObserved() {
+				c.emitPF(obs.Event{Kind: obs.KindMCPBHit, Cycle: cpuNow, ID: head.cmd.ID,
 					Line: head.cmd.Line, Thread: int32(head.cmd.Thread), V1: 1, V2: int64(lateDepth)})
 			}
 			c.deliver(head.cmd, cpuNow+c.cfg.PBHitLatency, false)
@@ -629,8 +663,8 @@ func (c *Controller) finalIssue(cpuNow, dramNow uint64) {
 		c.nextPFDone = head.doneAt
 	}
 	c.stats.PrefetchesToDRAM++
-	if c.bus != nil {
-		c.bus.Emit(obs.Event{Kind: obs.KindMCPFIssue, Cycle: cpuNow, Line: head.line,
+	if c.pfObserved() {
+		c.emitPF(obs.Event{Kind: obs.KindMCPFIssue, Cycle: cpuNow, Line: head.line,
 			V1: int64(head.depth), V2: int64(head.doneAt)})
 	}
 }
@@ -697,8 +731,8 @@ func (c *Controller) completePrefetches(cpuNow uint64) {
 			continue
 		}
 		if len(p.waiters) > 0 {
-			if c.bus != nil {
-				c.bus.Emit(obs.Event{Kind: obs.KindMCPFLate, Cycle: p.doneAt, Line: p.line,
+			if c.pfObserved() {
+				c.emitPF(obs.Event{Kind: obs.KindMCPFLate, Cycle: p.doneAt, Line: p.line,
 					V1: int64(p.depth), V2: int64(len(p.waiters))})
 			}
 			for _, w := range p.waiters {
@@ -706,13 +740,13 @@ func (c *Controller) completePrefetches(cpuNow uint64) {
 			}
 			c.pb.Useful++
 		} else {
-			evicted, evictedDepth := c.pb.Insert(p.line, p.depth)
-			if c.bus != nil {
-				c.bus.Emit(obs.Event{Kind: obs.KindMCPFInstall, Cycle: cpuNow, Line: p.line,
+			evicted, evictedLine, evictedDepth := c.pb.Insert(p.line, p.depth)
+			if c.pfObserved() {
+				c.emitPF(obs.Event{Kind: obs.KindMCPFInstall, Cycle: cpuNow, Line: p.line,
 					V1: int64(p.depth)})
 				if evicted {
-					c.bus.Emit(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
-						V1: int64(evictedDepth)})
+					c.emitPF(obs.Event{Kind: obs.KindMCPFWasted, Cycle: cpuNow,
+						Line: evictedLine, V1: int64(evictedDepth)})
 				}
 			}
 		}

@@ -102,12 +102,12 @@ func (b *PBuffer) InvalidateForWrite(l mem.Line) (dropped bool, depth int) {
 
 // Insert installs a prefetched line staged at the given depth,
 // evicting the set's LRU entry if needed (an unused eviction counts as
-// wasted; the victim's depth is reported for attribution).
-func (b *PBuffer) Insert(l mem.Line, depth int) (evicted bool, evictedDepth int) {
+// wasted; the victim's line and depth are reported for attribution).
+func (b *PBuffer) Insert(l mem.Line, depth int) (evicted bool, evictedLine mem.Line, evictedDepth int) {
 	b.tick++
 	if i := b.find(l); i >= 0 {
 		b.ways[i].used = b.tick
-		return false, 0
+		return false, 0, 0
 	}
 	base := b.setOf(l) * b.assoc
 	victim := base
@@ -127,11 +127,11 @@ func (b *PBuffer) Insert(l mem.Line, depth int) (evicted bool, evictedDepth int)
 	if b.ways[victim].valid {
 		b.Wasted++
 		b.WastedEvict++
-		evicted, evictedDepth = true, b.ways[victim].depth
+		evicted, evictedLine, evictedDepth = true, b.ways[victim].line, b.ways[victim].depth
 	}
 	b.ways[victim] = pbEntry{valid: true, line: l, used: b.tick, depth: depth}
 	b.Inserts++
-	return evicted, evictedDepth
+	return evicted, evictedLine, evictedDepth
 }
 
 // Live returns the number of valid entries.

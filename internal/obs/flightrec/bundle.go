@@ -40,9 +40,13 @@ type Bundle struct {
 	// Key, Node and TraceID carry the farm job identity, the executing
 	// node, and the distributed trace this run belonged to (when the
 	// run was cluster-executed); empty for standalone runs.
-	Key     string  `json:"key,omitempty"`
-	Node    string  `json:"node,omitempty"`
-	TraceID string  `json:"trace_id,omitempty"`
+	Key     string `json:"key,omitempty"`
+	Node    string `json:"node,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Epoch is the SLH epoch index (completed rolls) at capture time,
+	// aligning the bundle with the run's provenance epoch timeline; 0
+	// when no epoch had rolled (or no memory-side engine ran).
+	Epoch   uint64  `json:"epoch,omitempty"`
 	Trigger Trigger `json:"trigger"`
 	// Windows is the recent closed-window history, oldest first; the
 	// last entry is the window that tripped the detector.
@@ -81,6 +85,7 @@ func (r *Recorder) capture(t Trigger) *Bundle {
 		Key:        r.opts.Key,
 		Node:       r.opts.Node,
 		TraceID:    r.opts.TraceID,
+		Epoch:      r.lastEpoch,
 		Trigger:    t,
 		Windows:    append([]Window(nil), r.recent...),
 		SLH:        slh,
@@ -129,6 +134,9 @@ func (b *Bundle) WriteReport(w io.Writer) error {
 	fmt.Fprintf(w, "  %s\n", b.Trigger.Detail)
 	if b.Key != "" || b.Node != "" || b.TraceID != "" {
 		fmt.Fprintf(w, "  job=%s node=%s trace=%s\n", b.Key, b.Node, b.TraceID)
+	}
+	if b.Epoch > 0 {
+		fmt.Fprintf(w, "  slh epoch at capture: %d\n", b.Epoch)
 	}
 	fmt.Fprintln(w)
 

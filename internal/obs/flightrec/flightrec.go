@@ -108,6 +108,11 @@ type Recorder struct {
 	slh    *stats.Histogram
 	depths obs.DepthStats
 
+	// lastEpoch is the most recent completed SLH epoch index seen on the
+	// bus (KindASDEpochRoll), stamped into bundles so a triage artifact
+	// aligns with the provenance stream's epoch timeline.
+	lastEpoch uint64
+
 	armed    []Detector // fired detectors are nilled out
 	triggers []Trigger
 	bundles  []*Bundle
@@ -199,6 +204,7 @@ func (r *Recorder) Emit(e obs.Event) {
 		r.slh.Observe(int(e.V1))
 	case obs.KindASDEpochRoll:
 		r.cur.EpochRolls++
+		r.lastEpoch = uint64(e.V1)
 	case obs.KindMCQueues, obs.KindMCEnqueue, obs.KindMCSchedule,
 		obs.KindDRAMAccess, obs.KindDRAMRefresh, obs.KindCPUStall,
 		obs.KindSchedPolicy:

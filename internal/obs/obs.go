@@ -119,6 +119,53 @@ var kindNames = [numKinds]string{
 // NumKinds is the number of defined probe kinds.
 const NumKinds = int(numKinds)
 
+// DropCause classifies a KindMCPFDrop event (carried in V2): why a
+// prefetch nomination was rejected or a queued prefetch discarded. The
+// provenance layer stores it verbatim in OpDrop records.
+type DropCause uint8
+
+const (
+	// DropUnknown is the zero value (events predating cause tagging).
+	DropUnknown DropCause = iota
+	// DropPBDup: the line is already staged in the Prefetch Buffer.
+	DropPBDup
+	// DropInFlightDup: a prefetch for the line is already in flight.
+	DropInFlightDup
+	// DropLPQDup: the line is already queued in the LPQ.
+	DropLPQDup
+	// DropDemandPending: a demand for the line is already pending.
+	DropDemandPending
+	// DropLPQFull: the LPQ is at capacity.
+	DropLPQFull
+	// DropWrite: a Write invalidated the queued prefetch.
+	DropWrite
+	// DropOvertaken: the demand Read arrived before the LPQ issued it.
+	DropOvertaken
+	// DropFlushed: the LPQ was flushed wholesale (mode transition).
+	DropFlushed
+
+	numDropCauses
+)
+
+//asd:exhaustive
+var dropCauseNames = [numDropCauses]string{
+	"unknown", "pb-dup", "inflight-dup", "lpq-dup", "demand-pending",
+	"lpq-full", "write", "overtaken", "flushed",
+}
+
+// String implements fmt.Stringer.
+func (c DropCause) String() string {
+	if int(c) < len(dropCauseNames) {
+		return dropCauseNames[c]
+	}
+	return "cause?"
+}
+
+// AtNomination reports whether the cause arises at nomination time (the
+// same CPU cycle as the engine decision that produced the candidate),
+// as opposed to later in the prefetch's queue lifetime.
+func (c DropCause) AtNomination() bool { return c >= DropPBDup && c <= DropLPQFull }
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

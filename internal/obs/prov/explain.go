@@ -1,0 +1,243 @@
+package prov
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"asdsim/internal/mem"
+	"asdsim/internal/obs"
+)
+
+// Lineage is the reconstructed causal chain behind one prefetch: the
+// epoch snapshot whose tables decided it, the stream-filter slot
+// lifetime that produced the stream, the inequality decision, and the
+// MC-side records from nomination to final outcome.
+type Lineage struct {
+	Line     mem.Line
+	Chain    []Record // nominate/drop .. outcome, in firing order
+	Decision *Record
+	Slots    []Record // slot birth/extends leading to the decision, oldest first
+	Epoch    *EpochSnap
+}
+
+// LastExplainable returns the most recently recorded line worth
+// explaining — preferring a prefetch that scored a PB hit, then an
+// installed one, then any nomination — with the cycle of that record.
+// ok is false when the stream holds no prefetch lineage at all.
+func LastExplainable(s *Stream) (line mem.Line, cycle uint64, ok bool) {
+	for _, want := range []Op{OpPBHit, OpInstall, OpNominate} {
+		for i := len(s.Records) - 1; i >= 0; i-- {
+			if r := s.Records[i]; r.Op == want {
+				return r.Line, r.Cycle, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Explain reconstructs the lineage of the prefetch covering line. When
+// cycle is nonzero the generation active at that cycle is chosen (the
+// last chain whose nomination is at or before it); otherwise the last
+// generation recorded for the line wins.
+func Explain(s *Stream, line mem.Line, cycle uint64) (*Lineage, error) {
+	// A line can be prefetched repeatedly; each OpNominate (or a
+	// nomination-time OpDrop) opens a new generation.
+	type gen struct{ start, end int }
+	var gens []gen
+	for i, r := range s.Records {
+		if r.Line != line {
+			continue
+		}
+		starts := r.Op == OpNominate ||
+			(r.Op == OpDrop && obs.DropCause(r.Aux).AtNomination())
+		if starts {
+			gens = append(gens, gen{start: i, end: i})
+		} else if len(gens) > 0 {
+			switch r.Op {
+			case OpIssue, OpInstall, OpPBHit, OpLate, OpWasted, OpDrop:
+				gens[len(gens)-1].end = i
+			}
+		}
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("prov: no prefetch lineage recorded for line %#x (%d records retained, %d dropped)",
+			uint64(line), len(s.Records), s.Dropped)
+	}
+	chosen := gens[len(gens)-1]
+	if cycle > 0 {
+		for i := len(gens) - 1; i >= 0; i-- {
+			if s.Records[gens[i].start].Cycle <= cycle {
+				chosen = gens[i]
+				break
+			}
+		}
+	}
+
+	l := &Lineage{Line: line}
+	for i := chosen.start; i <= chosen.end; i++ {
+		r := s.Records[i]
+		if r.Line != line {
+			continue
+		}
+		switch r.Op {
+		case OpNominate, OpDrop, OpIssue, OpInstall, OpPBHit, OpLate, OpWasted:
+			l.Chain = append(l.Chain, r)
+		}
+	}
+
+	head := s.Records[chosen.start]
+	if decID := uint64(head.V2); decID != 0 {
+		for i := chosen.start - 1; i >= 0; i-- {
+			if r := s.Records[i]; r.Op == OpDecision && r.ID == decID {
+				l.Decision = &s.Records[i]
+				l.Slots = slotChain(s, i)
+				break
+			}
+		}
+	}
+	if l.Decision != nil {
+		for i := range s.Epochs {
+			e := &s.Epochs[i]
+			if e.Epoch == l.Decision.Epoch && e.Thread == l.Decision.Thread {
+				l.Epoch = e
+				break
+			}
+		}
+	}
+	return l, nil
+}
+
+// slotChain walks backwards from the decision at index di collecting
+// the slot records (birth/extends) of the stream that reached it: the
+// decision's Read extended the slot to the decision line at the same
+// cycle, the previous extend sits one line back in the stream
+// direction, and so on until the birth. A stream of length k leaves at
+// most k slot records (one birth plus k-1 confirmations).
+func slotChain(s *Stream, di int) []Record {
+	dec := s.Records[di]
+	down, _ := DecodeDecisionAux(dec.Aux)
+	step := 1
+	if down {
+		step = -1
+	}
+	expect := dec.Line
+	var rev []Record
+	for i := di; i >= 0 && len(rev) < int(dec.V1); i-- {
+		r := s.Records[i]
+		if r.Line != expect || (r.Op != OpSlotBirth && r.Op != OpSlotExtend) {
+			continue
+		}
+		rev = append(rev, r)
+		if r.Op == OpSlotBirth {
+			break
+		}
+		if down && r.V1 == 2 {
+			// The direction flip: before it the slot (and its birth)
+			// sat one line above the flip point (§3.3).
+			expect = r.Line.Next(1)
+		} else {
+			expect = r.Line.Next(-step)
+		}
+	}
+	// Reverse into firing order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// fmtTable renders an LHT vector compactly.
+func fmtTable(t []uint32) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func dirName(aux uint8) string {
+	if DecodeDir(aux) < 0 {
+		return "down"
+	}
+	return "up"
+}
+
+// WriteTree renders the lineage as a human-readable tree. The stage
+// labels ("epoch", "stream:", "decision:", "nominate:", "issue:",
+// "install:", "outcome:") are stable — CI greps them.
+func (l *Lineage) WriteTree(w io.Writer) {
+	fmt.Fprintf(w, "lineage for line %#x\n", uint64(l.Line))
+	branch := func(last bool) string {
+		if last {
+			return "└─ "
+		}
+		return "├─ "
+	}
+
+	if l.Epoch != nil {
+		table, dirLabel := l.Epoch.UpNext, "up"
+		if l.Decision != nil {
+			if down, _ := DecodeDecisionAux(l.Decision.Aux); down {
+				table, dirLabel = l.Epoch.DownNext, "down"
+			}
+		}
+		fmt.Fprintf(w, "%sepoch %d: rolled @cycle %d — deciding LHT[%s]=%s\n",
+			branch(false), l.Epoch.Epoch, l.Epoch.Cycle, dirLabel, fmtTable(table))
+	}
+	if n := len(l.Slots); n > 0 {
+		first, lastS := l.Slots[0], l.Slots[n-1]
+		fmt.Fprintf(w, "%sstream: %s %#x @cycle %d", branch(false),
+			first.Op, uint64(first.Line), first.Cycle)
+		if n > 1 {
+			fmt.Fprintf(w, " → %d confirmations → head %#x length %d dir %s @cycle %d",
+				n-1, uint64(lastS.Line), lastS.V1, dirName(lastS.Aux), lastS.Cycle)
+		}
+		fmt.Fprintln(w)
+	}
+	if d := l.Decision; d != nil {
+		down, ineq := DecodeDecisionAux(d.Aux)
+		tbl := "up"
+		if down {
+			tbl = "down"
+		}
+		lhtK, lhtKm := UnpackWitness(d.V3)
+		fmt.Fprintf(w, "%sdecision: @cycle %d epoch %d table=%s ineq(%d) k=%d m=%d lht(k)=%d < 2*lht(k+m)=%d\n",
+			branch(false), d.Cycle, d.Epoch, tbl, ineq, d.V1, d.V2, lhtK, 2*lhtKm)
+	}
+	for i, r := range l.Chain {
+		last := i == len(l.Chain)-1
+		switch r.Op {
+		case OpNominate:
+			fmt.Fprintf(w, "%snominate: depth %d @cycle %d\n", branch(last), r.V1, r.Cycle)
+		case OpDrop:
+			fmt.Fprintf(w, "%soutcome: dropped (%s) depth %d @cycle %d\n",
+				branch(last), obs.DropCause(r.Aux), r.V1, r.Cycle)
+		case OpIssue:
+			fmt.Fprintf(w, "%sissue: depth %d @cycle %d (DRAM completion @cycle %d)\n",
+				branch(last), r.V1, r.Cycle, r.V2)
+		case OpInstall:
+			fmt.Fprintf(w, "%sinstall: depth %d @cycle %d\n", branch(last), r.V1, r.Cycle)
+		case OpPBHit:
+			where := "PB entry check"
+			if r.Aux == 1 {
+				where = "late CAQ-head check"
+			}
+			fmt.Fprintf(w, "%soutcome: pb-hit depth %d @cycle %d (%s)\n", branch(last), r.V1, r.Cycle, where)
+		case OpLate:
+			fmt.Fprintf(w, "%soutcome: late depth %d @cycle %d (%d demand reads were already waiting)\n",
+				branch(last), r.V1, r.Cycle, r.V2)
+		case OpWasted:
+			how := "evicted unused"
+			if r.Aux == 1 {
+				how = "invalidated by a write"
+			}
+			fmt.Fprintf(w, "%soutcome: wasted depth %d @cycle %d (%s)\n", branch(last), r.V1, r.Cycle, how)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package prov
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists provenance streams as per-key binary sidecar files in
+// one directory, alongside (not inside) the farm's outcome store: the
+// outcome store answers "what happened", the sidecars answer "why".
+// Writes are atomic (temp file + rename) so a crashed run never leaves
+// a truncated stream behind.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a sidecar directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("prov: store dir must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prov: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the sidecar directory.
+func (s *Store) Dir() string { return s.dir }
+
+const sidecarExt = ".prov"
+
+// path validates a key (farm spec keys are hex; anything
+// filesystem-hostile is rejected) and returns its sidecar path.
+func (s *Store) path(key string) (string, error) {
+	if key == "" || len(key) > 128 {
+		return "", fmt.Errorf("prov: bad store key %q", key)
+	}
+	for _, c := range key {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return "", fmt.Errorf("prov: bad store key %q", key)
+		}
+	}
+	if strings.HasPrefix(key, ".") {
+		return "", fmt.Errorf("prov: bad store key %q", key)
+	}
+	return filepath.Join(s.dir, key+sidecarExt), nil
+}
+
+// Save writes key's stream atomically, replacing any previous version.
+func (s *Store) Save(key string, st *Stream) error {
+	path, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-prov-*")
+	if err != nil {
+		return fmt.Errorf("prov: save %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := EncodeBinary(tmp, st); err != nil {
+		tmp.Close()
+		return fmt.Errorf("prov: save %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("prov: save %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("prov: save %s: %w", key, err)
+	}
+	return nil
+}
+
+// Load reads key's stream. The boolean is false when no sidecar exists.
+func (s *Store) Load(key string) (*Stream, bool, error) {
+	path, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("prov: load %s: %w", key, err)
+	}
+	defer f.Close()
+	st, err := DecodeBinary(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("prov: load %s: %w", key, err)
+	}
+	return st, true, nil
+}
+
+// Keys lists every stored key, sorted.
+func (s *Store) Keys() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("prov: list store: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, sidecarExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, sidecarExt))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

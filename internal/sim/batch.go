@@ -103,7 +103,7 @@ func (b *Batch) buildRunner(bench string, cfg Config) (*runner, error) {
 			MaxOutstanding:     cfg.MaxOutstanding,
 			BudgetInstructions: cfg.InstrBudget,
 		})
-		th.SetObserver(cfg.Obs)
+		th.SetObserver(r.cfg.Obs)
 		r.threads = append(r.threads, th)
 		r.trueLens = append(r.trueLens, mt.TrueLengths)
 		r.ffRecs = append(r.ffRecs, mt.Records)

@@ -14,6 +14,7 @@ import (
 	"asdsim/internal/dram"
 	"asdsim/internal/mc"
 	"asdsim/internal/obs"
+	"asdsim/internal/obs/prov"
 	"asdsim/internal/prefetch"
 )
 
@@ -114,6 +115,14 @@ type Config struct {
 	// (and the farm's content-addressed job keys) are unaffected by
 	// observer wiring.
 	Obs *obs.Bus `json:"-"`
+
+	// Prov, when non-nil, records per-prefetch provenance for the run:
+	// the recorder is wired directly into the memory controller's
+	// prefetch-lifecycle sites and each ASD engine's decision/epoch/slot
+	// hooks — deliberately not through the probe bus, so a
+	// provenance-only run keeps every other probe site disabled.
+	// Excluded from JSON for the same reason as Obs.
+	Prov *prov.Recorder `json:"-"`
 }
 
 // Default returns the paper's evaluated system in the given mode with a

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asdsim/internal/obs/prov"
+)
+
+// TestGoldenLineage pins one GemsFDTD prefetch's full provenance tree
+// byte-for-byte: the epoch snapshot, stream-filter lifetime, inequality
+// decision and MC lifecycle for the run's last PB hit. Regenerate with
+// -update-golden only when a simulated-behavior change is intended —
+// the tree embeds cycles, LHT contents and depths, so it doubles as a
+// determinism witness for the provenance layer itself.
+func TestGoldenLineage(t *testing.T) {
+	// goldenBudget ends before MS's first post-epoch nomination; 400k
+	// instructions yield a full chain through a PB hit.
+	cfg := Default(MS, 400_000)
+	rec := prov.New(prov.Options{TraceID: "golden/GemsFDTD/MS"})
+	cfg.Prov = rec
+	if _, err := Run("GemsFDTD", cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stream()
+	line, cycle, ok := prov.LastExplainable(st)
+	if !ok {
+		t.Fatalf("no explainable prefetch in %d records", len(st.Records))
+	}
+	lin, err := prov.Explain(st, line, cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	lin.WriteTree(&b)
+	got := []byte(b.String())
+
+	path := filepath.Join("testdata", "golden", "GemsFDTD_MS_lineage.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("lineage drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

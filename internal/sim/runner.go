@@ -231,7 +231,7 @@ func RunTraceContext(ctx context.Context, name string, sources []trace.Source, c
 			MaxOutstanding:     cfg.MaxOutstanding,
 			BudgetInstructions: cfg.InstrBudget,
 		})
-		th.SetObserver(cfg.Obs)
+		th.SetObserver(r.cfg.Obs)
 		r.threads = append(r.threads, th)
 	}
 	if err := r.loop(ctx); err != nil {
@@ -260,7 +260,7 @@ func buildRunner(bench string, cfg Config) (*runner, error) {
 			MaxOutstanding:     cfg.MaxOutstanding,
 			BudgetInstructions: cfg.InstrBudget,
 		})
-		th.SetObserver(cfg.Obs)
+		th.SetObserver(r.cfg.Obs)
 		r.threads = append(r.threads, th)
 	}
 	return r, nil
@@ -280,6 +280,11 @@ func newRunnerShell(cfg Config) *runner {
 			if o, ok := eng.(interface{ SetObserver(*obs.Bus) }); ok {
 				o.SetObserver(cfg.Obs)
 			}
+			if cfg.Prov != nil {
+				if e, ok := eng.(*core.Engine); ok {
+					e.SetProv(cfg.Prov, int32(t))
+				}
+			}
 			r.engines = append(r.engines, eng)
 		}
 		adaptive = core.NewAdaptiveScheduler(cfg.Sched)
@@ -288,6 +293,7 @@ func newRunnerShell(cfg Config) *runner {
 	r.ctrl = mc.New(cfg.MC, r.dram, r.engines, adaptive)
 	r.ctrl.SetReadDone(r.onReadDone)
 	r.ctrl.SetObserver(cfg.Obs)
+	r.ctrl.SetProv(cfg.Prov)
 	r.hier.SetObserver(cfg.Obs)
 	r.dram.SetObserver(cfg.Obs)
 

@@ -158,6 +158,30 @@ func (t *Table) PrefetchDegree(k, maxDegree int) int {
 	return m
 }
 
+// Snapshot copies both tables for the provenance layer's epoch
+// snapshots. The copies are freshly allocated — callers own them.
+func (t *Table) Snapshot() (curr, next []uint32) {
+	curr = append([]uint32(nil), t.curr...)
+	next = append([]uint32(nil), t.next...)
+	return curr, next
+}
+
+// Witness returns the lht values inequality (6) compared for a stream of
+// length k and degree m — lht(k) and lht(k+m) after the same clamping
+// PrefetchDegree applies — so provenance records carry the exact
+// operands the decision saw.
+//
+//asd:hotpath
+func (t *Table) Witness(k, m int) (lhtK, lhtKm uint32) {
+	if k < 1 {
+		return 0, 0
+	}
+	if k > t.cfg.MaxLength-1 {
+		k = t.cfg.MaxLength - 1
+	}
+	return t.LHT(k), t.LHT(k + m)
+}
+
 // Histogram renders LHTcurr as the SLH it encodes: bar i holds
 // lht(i) - lht(i+1), the number of Reads belonging to streams of length
 // exactly i (the final bar aggregates ">= n_s").

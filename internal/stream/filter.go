@@ -15,6 +15,26 @@ import (
 // direction. The SLH machinery subscribes here.
 type EndFunc func(length int, dir mem.Direction)
 
+// SlotOp enumerates the slot-lifecycle stages reported through SlotFunc.
+type SlotOp uint8
+
+const (
+	// SlotBirth: a vacant slot was allocated for a fresh stream head.
+	SlotBirth SlotOp = iota
+	// SlotExtend: a Read confirmed the stream (length grew, including the
+	// length-1 direction flip).
+	SlotExtend
+	// SlotEnd: the slot was retired (lifetime expiry or epoch flush) and
+	// its stream fed the SLH.
+	SlotEnd
+)
+
+// SlotFunc observes slot lifecycle stages for the provenance layer: op,
+// the CPU cycle, the slot's head line, its length and direction after
+// the stage. Hooks run on the filter's hot path and must not perturb it
+// (no allocation, no locking); nil means no observation.
+type SlotFunc func(op SlotOp, now uint64, line mem.Line, length int, dir mem.Direction)
+
 // Config holds filter parameters.
 type Config struct {
 	// Slots is the number of streams tracked concurrently (8 per thread
@@ -45,14 +65,20 @@ type slot struct {
 
 // Filter is the Stream Filter.
 type Filter struct {
-	cfg   Config
-	slots []slot
-	onEnd EndFunc
+	cfg    Config
+	slots  []slot
+	onEnd  EndFunc
+	onSlot SlotFunc
 
 	// minExpiry is a lower bound on the earliest expiresAt among valid
 	// slots (^uint64(0) when none can expire), letting the per-cycle
 	// expiry sweep early-exit while nothing has run out.
 	minExpiry uint64
+
+	// lastNow is the most recent cycle presented to Observe or Tick; it
+	// stamps slot-end hooks fired from FlushEpoch, which has no cycle of
+	// its own.
+	lastNow uint64
 
 	// Observations counts Reads presented to the filter.
 	Observations uint64
@@ -74,6 +100,11 @@ func NewFilter(cfg Config, onEnd EndFunc) *Filter {
 	return &Filter{cfg: cfg, slots: make([]slot, cfg.Slots), onEnd: onEnd, minExpiry: ^uint64(0)}
 }
 
+// SetSlotHook installs (or clears, with nil) the slot-lifecycle hook.
+// Install everything before the run starts; the hook must not call back
+// into the filter.
+func (f *Filter) SetSlotHook(h SlotFunc) { f.onSlot = h }
+
 // Observation is the filter's verdict on one Read.
 type Observation struct {
 	// Length is the detected current stream length including this Read.
@@ -92,6 +123,7 @@ type Observation struct {
 //asd:hotpath
 func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 	f.Observations++
+	f.lastNow = now
 	f.expire(now)
 
 	// A Read matching the most recent element of a tracked stream
@@ -108,6 +140,9 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 			s.last = line
 			s.expiresAt = now + f.cfg.Lifetime
 			f.noteExpiry(s.expiresAt)
+			if f.onSlot != nil {
+				f.onSlot(SlotExtend, now, line, s.length, s.dir) //asd:allow hotpath-noalloc provenance hook wired once before the run; the recorder's handler is itself checked
+			}
 			return Observation{Length: s.length, Dir: s.dir, Tracked: true}
 		case s.length == 1 && line == s.last.Next(-1):
 			s.dir = mem.Down
@@ -115,6 +150,9 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 			s.last = line
 			s.expiresAt = now + f.cfg.Lifetime
 			f.noteExpiry(s.expiresAt)
+			if f.onSlot != nil {
+				f.onSlot(SlotExtend, now, line, 2, mem.Down) //asd:allow hotpath-noalloc provenance hook wired once before the run; the recorder's handler is itself checked
+			}
 			return Observation{Length: 2, Dir: mem.Down, Tracked: true}
 		case line == s.last:
 			// Repeated access to the stream head: refresh lifetime,
@@ -134,6 +172,9 @@ func (f *Filter) Observe(line mem.Line, now uint64) Observation {
 		}
 		*s = slot{valid: true, last: line, length: 1, dir: mem.Up, expiresAt: now + f.cfg.Lifetime}
 		f.noteExpiry(s.expiresAt)
+		if f.onSlot != nil {
+			f.onSlot(SlotBirth, now, line, 1, mem.Up) //asd:allow hotpath-noalloc provenance hook wired once before the run; the recorder's handler is itself checked
+		}
 		return Observation{Length: 1, Dir: mem.Up, Tracked: true}
 	}
 
@@ -165,6 +206,9 @@ func (f *Filter) expire(now uint64) {
 		}
 		if s.expiresAt <= now {
 			f.end(s.length, s.dir)
+			if f.onSlot != nil {
+				f.onSlot(SlotEnd, now, s.last, s.length, s.dir) //asd:allow hotpath-noalloc provenance hook wired once before the run; the recorder's handler is itself checked
+			}
 			s.valid = false
 		} else if s.expiresAt < min {
 			min = s.expiresAt
@@ -178,7 +222,10 @@ func (f *Filter) expire(now uint64) {
 // promptly even on quiet channels.
 //
 //asd:hotpath
-func (f *Filter) Tick(now uint64) { f.expire(now) }
+func (f *Filter) Tick(now uint64) {
+	f.lastNow = now
+	f.expire(now)
+}
 
 // FlushEpoch evicts every stream (called at each epoch boundary: "At the
 // end of each epoch, all streams are evicted from the Stream Filter").
@@ -187,6 +234,9 @@ func (f *Filter) FlushEpoch() {
 		s := &f.slots[i]
 		if s.valid {
 			f.end(s.length, s.dir)
+			if f.onSlot != nil {
+				f.onSlot(SlotEnd, f.lastNow, s.last, s.length, s.dir) //asd:allow hotpath-noalloc provenance hook wired once before the run; the recorder's handler is itself checked
+			}
 			s.valid = false
 		}
 	}

@@ -103,6 +103,8 @@ type TraceCacheStats struct {
 	// Hits counts Gets served from an already-materialized trace;
 	// Misses counts Gets that had to generate.
 	Hits, Misses uint64
+	// Evictions counts traces dropped by the LRU byte budget.
+	Evictions uint64
 	// Entries and Bytes describe current residency.
 	Entries int
 	Bytes   int64
@@ -123,6 +125,7 @@ type TraceCache struct {
 	bytes      int64
 	hits       uint64
 	misses     uint64
+	evictions  uint64
 }
 
 // DefaultTraceCacheBytes bounds a default cache. A 2M-instruction
@@ -191,7 +194,8 @@ func (c *TraceCache) Get(prof Profile, seed uint64, thread int, budget uint64) (
 func (c *TraceCache) Stats() TraceCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return TraceCacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Bytes: c.bytes}
+	return TraceCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Bytes: c.bytes}
 }
 
 // evictLocked drops least-recently-used accounted entries until the
@@ -204,6 +208,7 @@ func (c *TraceCache) evictLocked() {
 		c.unlink(e)
 		delete(c.entries, e.key)
 		c.bytes -= e.mt.sizeBytes()
+		c.evictions++
 	}
 }
 

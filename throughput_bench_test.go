@@ -11,6 +11,7 @@ import (
 	"asdsim"
 	"asdsim/internal/obs"
 	"asdsim/internal/obs/flightrec"
+	"asdsim/internal/obs/prov"
 )
 
 // throughputBudget is large enough that per-run setup (generator tables,
@@ -80,6 +81,40 @@ func BenchmarkSimThroughputFlightrec(b *testing.B) {
 				b.ReportMetric(float64(cycles)/secs, "cycles/sec")
 			}
 			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+		})
+	}
+}
+
+// BenchmarkSimThroughputProv measures the same workloads with the
+// prefetch-provenance recorder attached (default ring, epoch
+// snapshots, decision/slot hooks live). The gap against
+// BenchmarkSimThroughput is the full cost of per-decision attribution;
+// acceptance holds it within 1.10x — see the "provenance" section of
+// BENCH_throughput.json for current numbers.
+func BenchmarkSimThroughputProv(b *testing.B) {
+	for _, mode := range []asdsim.Mode{asdsim.NP, asdsim.PS, asdsim.MS, asdsim.PMS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := asdsim.DefaultConfig(mode, throughputBudget)
+			var cycles, records uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := prov.New(prov.Options{TraceID: "GemsFDTD/" + mode.String()})
+				cfg.Prov = rec
+				res, err := asdsim.Run("GemsFDTD", cfg)
+				if err != nil {
+					b.Fatalf("GemsFDTD/%v: %v", mode, err)
+				}
+				st := rec.Stream()
+				records += uint64(len(st.Records)) + st.Dropped
+				cycles += res.Cycles
+			}
+			b.StopTimer()
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+			b.ReportMetric(float64(records)/float64(b.N), "records/op")
 		})
 	}
 }
