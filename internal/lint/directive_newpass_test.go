@@ -1,0 +1,108 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"asdsim/internal/lint"
+)
+
+// Directive hygiene for the lockorder/wirecheck/simtime passes: the
+// allow grammar must accept their names, a reasonless allow is itself
+// a finding and suppresses nothing, and an allow naming one pass never
+// silences another pass's finding on the same line. The simtime pass
+// carries the line/function tests here because its name-based domain
+// inference fires without imports; the fixture trees cover the same
+// directive shapes for lockorder and wirecheck.
+
+func TestNewPassesAreKnownToDirectiveHygiene(t *testing.T) {
+	res := checkSource(t, `package p
+
+//asd:allow lockorder coordinated through the caller's lock
+func a() {}
+
+//asd:allow wirecheck input size capped upstream
+func b() {}
+
+//asd:allow simtime deliberate mixed-domain display heuristic
+func c() {}
+`)
+	if got := messages(res, "directive"); len(got) != 0 {
+		t.Fatalf("new pass names must be known to //asd:allow hygiene, got %q", got)
+	}
+}
+
+func TestSimtimeReasonlessAllowDoesNotSuppress(t *testing.T) {
+	res := checkSource(t, `package p
+
+func f(cycles, wallMS int64) bool {
+	return cycles > wallMS //asd:allow simtime
+}
+`, lint.SimtimeAnalyzer)
+	got := messages(res, "directive")
+	if len(got) != 1 || !strings.Contains(got[0], "malformed //asd:allow") {
+		t.Fatalf("want one malformed-allow diagnostic, got %q", got)
+	}
+	if got := messages(res, "simtime"); len(got) != 1 {
+		t.Fatalf("reasonless allow must not suppress the finding, got %q", got)
+	}
+}
+
+func TestCrossPassAllowDoesNotInterfere(t *testing.T) {
+	res := checkSource(t, `package p
+
+func f(cycles, wallMS int64) bool {
+	return cycles > wallMS //asd:allow wirecheck not the pass that fired
+}
+`, lint.SimtimeAnalyzer)
+	if got := messages(res, "directive"); len(got) != 0 {
+		t.Fatalf("well-formed allow for another pass is not a hygiene finding, got %q", got)
+	}
+	if got := messages(res, "simtime"); len(got) != 1 {
+		t.Fatalf("an allow naming wirecheck must not silence simtime, got %q", got)
+	}
+}
+
+func TestSimtimeLineAllow(t *testing.T) {
+	res := checkSource(t, `package p
+
+func f(cycles, wallMS int64) bool {
+	return cycles > wallMS //asd:allow simtime deliberate mixed comparison
+}
+`, lint.SimtimeAnalyzer)
+	if got := messages(res, "simtime"); len(got) != 0 {
+		t.Fatalf("reasoned line allow must suppress, got %q", got)
+	}
+}
+
+func TestSimtimeFunctionBoundaryAllow(t *testing.T) {
+	res := checkSource(t, `package p
+
+//asd:allow simtime whole function mixes domains deliberately
+func f(cycles, wallMS int64) bool {
+	return cycles > wallMS
+}
+`, lint.SimtimeAnalyzer)
+	if got := messages(res, "simtime"); len(got) != 0 {
+		t.Fatalf("function-boundary allow must suppress, got %q", got)
+	}
+}
+
+func TestSuppressedFindingsAreRecorded(t *testing.T) {
+	res := checkSource(t, `package p
+
+func f(cycles, wallMS int64) bool {
+	return cycles > wallMS //asd:allow simtime deliberate mixed comparison
+}
+`, lint.SimtimeAnalyzer)
+	if len(res.Diags) != 0 {
+		t.Fatalf("unexpected live diagnostics: %v", res.Diags)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("want the silenced finding recorded once, got %d", len(res.Suppressed))
+	}
+	s := res.Suppressed[0]
+	if s.Diag.Pass != "simtime" || !s.SuppressedBy.IsValid() {
+		t.Fatalf("suppressed record incomplete: pass=%q by=%v", s.Diag.Pass, s.SuppressedBy)
+	}
+}

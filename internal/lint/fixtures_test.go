@@ -30,3 +30,15 @@ func TestExhaustiveFixture(t *testing.T) {
 func TestMetricLintFixture(t *testing.T) {
 	linttest.Run(t, "testdata/metriclint", lint.MetricLintAnalyzer)
 }
+
+func TestLockorderFixture(t *testing.T) {
+	linttest.Run(t, "testdata/lockorder", lint.LockorderAnalyzer)
+}
+
+func TestWirecheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/wirecheck", lint.WirecheckAnalyzer)
+}
+
+func TestSimtimeFixture(t *testing.T) {
+	linttest.Run(t, "testdata/simtime", lint.SimtimeAnalyzer)
+}

@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static call graph of one package: every declared
+// function/method with a body, and the same-package functions each one
+// calls directly. Dynamic calls (interface dispatch, func values)
+// contribute no edges; passes police those per call site.
+type CallGraph struct {
+	// Decls maps every declared function object to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Callees maps a function to its same-package static callees, in
+	// first-call-site order, deduplicated.
+	Callees map[*types.Func][]*types.Func
+	// order is every function sorted by source position, for
+	// deterministic iteration.
+	order []*types.Func
+	fset  *token.FileSet
+}
+
+// BuildCallGraph scans files for function declarations and resolves
+// their same-package static call edges through callee (typically the
+// lint package's StaticCallee).
+func BuildCallGraph(fset *token.FileSet, files []*ast.File, pkg *types.Package, defs map[*ast.Ident]types.Object, callee func(*ast.CallExpr) *types.Func) *CallGraph {
+	cg := &CallGraph{
+		Decls:   map[*types.Func]*ast.FuncDecl{},
+		Callees: map[*types.Func][]*types.Func{},
+		fset:    fset,
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			cg.Decls[obj] = fn
+			cg.order = append(cg.order, obj)
+		}
+	}
+	sort.Slice(cg.order, func(i, j int) bool {
+		return cg.Decls[cg.order[i]].Pos() < cg.Decls[cg.order[j]].Pos()
+	})
+	for _, obj := range cg.order {
+		fn := cg.Decls[obj]
+		seen := map[*types.Func]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tgt := callee(call)
+			if tgt == nil || tgt.Pkg() != pkg || seen[tgt] {
+				return true
+			}
+			if _, declared := cg.Decls[tgt]; !declared {
+				return true
+			}
+			seen[tgt] = true
+			cg.Callees[obj] = append(cg.Callees[obj], tgt)
+			return true
+		})
+	}
+	return cg
+}
+
+// Funcs returns every declared function in source order.
+func (cg *CallGraph) Funcs() []*types.Func { return cg.order }
+
+// Fixpoint repeatedly applies update to every function (in source
+// order) until one full round reports no change, propagating summary
+// information through call cycles. update returns whether the
+// function's summary changed this application.
+func (cg *CallGraph) Fixpoint(update func(fn *types.Func, decl *ast.FuncDecl) bool) {
+	for round := 0; round <= len(cg.order)+1; round++ {
+		changed := false
+		for _, fn := range cg.order {
+			if update(fn, cg.Decls[fn]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package flow
+
+// Forward runs a forward may/must dataflow analysis over g to a fixed
+// point and returns each block's input state. The caller supplies the
+// lattice: entry is the state entering Entry, join combines states at
+// control-flow merges, equal detects convergence, and transfer applies
+// one block's effect. States must be treated as immutable by transfer
+// (return a fresh value on change); join/transfer are never handed nil
+// blocks.
+//
+// The solver iterates a FIFO worklist; with a monotone transfer and a
+// finite-height lattice it terminates. A malformed lattice (e.g. a
+// non-monotone transfer) could oscillate, so a generous iteration
+// budget breaks the loop rather than hanging the driver; analyses in
+// this package stay far below it.
+func Forward[T any](g *Graph, entry T, join func(T, T) T, equal func(T, T) bool, transfer func(*Block, T) T) map[*Block]T {
+	in := make(map[*Block]T, len(g.Blocks))
+	seen := make(map[*Block]bool, len(g.Blocks))
+	in[g.Entry] = entry
+	seen[g.Entry] = true
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	budget := 64 * (len(g.Blocks) + 1) * (len(g.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			var next T
+			if !seen[s] {
+				next = out
+			} else {
+				next = join(in[s], out)
+			}
+			if !seen[s] || !equal(next, in[s]) {
+				in[s] = next
+				seen[s] = true
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}

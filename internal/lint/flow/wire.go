@@ -1,0 +1,251 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"go/types"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// The wire-surface schema: a deterministic description of every struct
+// reachable from the farm/cluster wire roots, serialized as the
+// checked-in wire.lock file. The wirecheck pass diffs the live type
+// information against the lock, so renaming, retyping, or reordering a
+// wire field — which would silently break rolling coordinator/worker
+// upgrades or stored-result compatibility — fails `go vet` until the
+// lock is deliberately regenerated and reviewed.
+
+// FieldSchema is one exported struct field on the wire.
+type FieldSchema struct {
+	// Wire is the field's wire name: the json tag name when present,
+	// else the Go field name.
+	Wire string
+	// Go is the Go field name.
+	Go string
+	// Type is the field's type, fully qualified by package path.
+	Type string
+	// Tag is the field's complete struct tag (may be empty).
+	Tag string
+}
+
+// StructSchema is the wire shape of one named struct type.
+type StructSchema struct {
+	// Path and Name identify the type (types.Named object).
+	Path string
+	Name string
+	// Fields are the exported fields in declaration order. Order is
+	// part of the schema: the binary codecs write fields positionally.
+	Fields []FieldSchema
+}
+
+// key is the struct's stable identity in the schema.
+func (s *StructSchema) key() string { return s.Path + "." + s.Name }
+
+// Schema is the full wire surface, sorted by (Path, Name).
+type Schema struct {
+	Structs []StructSchema
+}
+
+// Lookup returns the schema of path.name, or nil.
+func (s *Schema) Lookup(path, name string) *StructSchema {
+	for i := range s.Structs {
+		if s.Structs[i].Path == path && s.Structs[i].Name == name {
+			return &s.Structs[i]
+		}
+	}
+	return nil
+}
+
+// WireSurface computes the schema of every named struct reachable from
+// roots through exported struct fields (traversing pointers, slices,
+// arrays, and maps). Fields tagged `json:"-"` are excluded from the
+// surface; unexported fields likewise (neither encoding/json nor the
+// hand-rolled binary codecs can ship them).
+func WireSurface(roots []*types.Named) *Schema {
+	visited := map[string]bool{}
+	var out []StructSchema
+	var visit func(t types.Type)
+
+	visitNamedStruct := func(n *types.Named, st *types.Struct) {
+		obj := n.Obj()
+		path := ""
+		if obj.Pkg() != nil {
+			path = obj.Pkg().Path()
+		}
+		key := path + "." + obj.Name()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		ss := StructSchema{Path: path, Name: obj.Name()}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag := st.Tag(i)
+			wire, skip := wireName(f.Name(), tag)
+			if skip {
+				continue
+			}
+			ss.Fields = append(ss.Fields, FieldSchema{
+				Wire: wire,
+				Go:   f.Name(),
+				Type: types.TypeString(f.Type(), pathQualifier),
+				Tag:  tag,
+			})
+			visit(f.Type())
+		}
+		out = append(out, ss)
+	}
+
+	visit = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Key())
+			visit(t.Elem())
+		case *types.Named:
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				visitNamedStruct(t, st)
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return &Schema{Structs: out}
+}
+
+// pathQualifier renders package-qualified type names with full import
+// paths, so the schema is unambiguous across packages.
+func pathQualifier(p *types.Package) string { return p.Path() }
+
+// wireName resolves a field's wire name from its json tag; skip is
+// true for `json:"-"` fields, which never cross the wire.
+func wireName(goName, tag string) (wire string, skip bool) {
+	jt, ok := reflect.StructTag(tag).Lookup("json")
+	if !ok {
+		return goName, false
+	}
+	name, _, _ := strings.Cut(jt, ",")
+	switch name {
+	case "-":
+		return "", true
+	case "":
+		return goName, false
+	}
+	return name, false
+}
+
+// schemaVersion guards the wire.lock file format itself.
+const schemaVersion = 1
+
+// Format renders the schema in the wire.lock file form: stable,
+// line-oriented, and diff-friendly.
+func (s *Schema) Format() []byte {
+	var b strings.Builder
+	b.WriteString("# wire.lock — asdsim wire-surface schema (see internal/lint: wirecheck).\n")
+	b.WriteString("# Regenerate after a deliberate wire change: asdlint -write-wire-lock wire.lock\n")
+	fmt.Fprintf(&b, "version %d\n", schemaVersion)
+	for _, ss := range s.Structs {
+		fmt.Fprintf(&b, "struct %s.%s\n", ss.Path, ss.Name)
+		for _, f := range ss.Fields {
+			fmt.Fprintf(&b, "\tfield %s\t%s\t%s\t%s\n", f.Wire, f.Go, f.Type, f.Tag)
+		}
+	}
+	return []byte(b.String())
+}
+
+// ParseSchema reads the wire.lock form back.
+func ParseSchema(r io.Reader) (*Schema, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	s := &Schema{}
+	var cur *StructSchema
+	lineno := 0
+	sawVersion := false
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "version "):
+			v := strings.TrimSpace(strings.TrimPrefix(trimmed, "version "))
+			if v != fmt.Sprint(schemaVersion) {
+				return nil, fmt.Errorf("wire.lock:%d: unsupported schema version %s", lineno, v)
+			}
+			sawVersion = true
+		case strings.HasPrefix(trimmed, "struct "):
+			full := strings.TrimSpace(strings.TrimPrefix(trimmed, "struct "))
+			dot := strings.LastIndex(full, ".")
+			if dot < 0 {
+				return nil, fmt.Errorf("wire.lock:%d: malformed struct line %q", lineno, trimmed)
+			}
+			s.Structs = append(s.Structs, StructSchema{Path: full[:dot], Name: full[dot+1:]})
+			cur = &s.Structs[len(s.Structs)-1]
+		case strings.HasPrefix(line, "\tfield "):
+			if cur == nil {
+				return nil, fmt.Errorf("wire.lock:%d: field line outside a struct", lineno)
+			}
+			parts := strings.Split(strings.TrimPrefix(line, "\tfield "), "\t")
+			if len(parts) < 3 {
+				return nil, fmt.Errorf("wire.lock:%d: malformed field line %q", lineno, line)
+			}
+			f := FieldSchema{Wire: parts[0], Go: parts[1], Type: parts[2]}
+			if len(parts) > 3 {
+				f.Tag = strings.Join(parts[3:], "\t")
+			}
+			cur.Fields = append(cur.Fields, f)
+		default:
+			return nil, fmt.Errorf("wire.lock:%d: unrecognized line %q", lineno, trimmed)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawVersion {
+		return nil, fmt.Errorf("wire.lock: missing version line")
+	}
+	return s, nil
+}
+
+// DiffStruct compares a locked struct shape against the live one and
+// returns human-readable drift messages (empty when identical).
+func DiffStruct(locked, live *StructSchema) []string {
+	var out []string
+	n := len(locked.Fields)
+	if len(live.Fields) < n {
+		n = len(live.Fields)
+	}
+	for i := 0; i < n; i++ {
+		l, a := locked.Fields[i], live.Fields[i]
+		switch {
+		case l.Wire != a.Wire || l.Go != a.Go:
+			out = append(out, fmt.Sprintf("field %d renamed: wire.lock has %q (Go %s), source has %q (Go %s)", i, l.Wire, l.Go, a.Wire, a.Go))
+		case l.Type != a.Type:
+			out = append(out, fmt.Sprintf("field %q retyped: wire.lock has %s, source has %s", l.Wire, l.Type, a.Type))
+		case l.Tag != a.Tag:
+			out = append(out, fmt.Sprintf("field %q tag changed: wire.lock has %q, source has %q", l.Wire, l.Tag, a.Tag))
+		}
+	}
+	for i := n; i < len(locked.Fields); i++ {
+		out = append(out, fmt.Sprintf("field %q removed from source but present in wire.lock", locked.Fields[i].Wire))
+	}
+	for i := n; i < len(live.Fields); i++ {
+		out = append(out, fmt.Sprintf("field %q added in source but missing from wire.lock", live.Fields[i].Wire))
+	}
+	return out
+}

@@ -87,6 +87,11 @@ type Facts struct {
 	// in the package's checked hot-path closure or is an explicitly
 	// trusted boundary.
 	Hotpath map[string]bool
+	// Lock maps a function's FullName to its transitive lock summary
+	// (which lock classes it may acquire, whether it may block, and the
+	// lock-order edges its body establishes), exported by the lockorder
+	// pass so callers in dependent packages compose with it.
+	Lock map[string]*LockFact
 }
 
 // Config parameterizes one driver invocation of Check.
@@ -111,11 +116,21 @@ type Pass struct {
 	Config   *Config
 
 	diags []Diagnostic
+	facts *Facts
 }
 
 // Report records a finding at pos.
 func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{Pos: pos, Pass: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// exportLockFact publishes a function's lock summary for dependent
+// packages (serialized into the .vetx facts file by the driver).
+func (p *Pass) exportLockFact(fullName string, f *LockFact) {
+	if p.facts.Lock == nil {
+		p.facts.Lock = map[string]*LockFact{}
+	}
+	p.facts.Lock[fullName] = f
 }
 
 // TypeOf is shorthand for the package's types.Info.TypeOf.
@@ -125,9 +140,18 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 type Result struct {
 	Diags []Diagnostic
 	Facts *Facts
+	// Suppressed holds findings that an //asd:allow directive silenced,
+	// with the directive's position, for machine-readable audit output.
+	Suppressed []SuppressedDiag
 }
 
-// All returns the five analyzers in the suite, in stable order.
+// SuppressedDiag is a finding plus the directive that silenced it.
+type SuppressedDiag struct {
+	Diag         Diagnostic
+	SuppressedBy token.Pos
+}
+
+// All returns the eight analyzers in the suite, in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -135,6 +159,9 @@ func All() []*Analyzer {
 		NoperturbAnalyzer,
 		ExhaustiveAnalyzer,
 		MetricLintAnalyzer,
+		LockorderAnalyzer,
+		WirecheckAnalyzer,
+		SimtimeAnalyzer,
 	}
 }
 
@@ -155,7 +182,7 @@ func Check(pkg *Package, cfg *Config, analyzers ...*Analyzer) *Result {
 		cfg = &Config{}
 	}
 	pkg.buildDirectives()
-	res := &Result{Facts: &Facts{Hotpath: map[string]bool{}}}
+	res := &Result{Facts: &Facts{Hotpath: map[string]bool{}, Lock: map[string]*LockFact{}}}
 
 	// Directive hygiene is checked once, driver-side: every allow tag
 	// must name a pass and carry a reason.
@@ -187,13 +214,14 @@ func Check(pkg *Package, cfg *Config, analyzers ...*Analyzer) *Result {
 		if !cfg.IgnoreScope && a.Scope != nil && !a.Scope(path) {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Config: cfg, facts: res.Facts}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if pkg.allowed(a.Name, pkg.Fset.Position(d.Pos)) {
+			if !cfg.IncludeTests && strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
 				continue
 			}
-			if !cfg.IncludeTests && strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			if by, ok := pkg.allowed(a.Name, pkg.Fset.Position(d.Pos)); ok {
+				res.Suppressed = append(res.Suppressed, SuppressedDiag{Diag: d, SuppressedBy: by})
 				continue
 			}
 			res.Diags = append(res.Diags, d)
@@ -311,13 +339,13 @@ func (pkg *Package) at(filename string, line int) []directive {
 // allowed reports whether a diagnostic of pass at posn is suppressed
 // by a line-level allow directive (with a reason; reasonless tags are
 // rejected separately and do not suppress).
-func (pkg *Package) allowed(pass string, posn token.Position) bool {
+func (pkg *Package) allowed(pass string, posn token.Position) (token.Pos, bool) {
 	for _, d := range pkg.at(posn.Filename, posn.Line) {
 		if d.kind == dirAllow && d.pass == pass && d.reason != "" {
-			return true
+			return d.pos, true
 		}
 	}
-	return false
+	return token.NoPos, false
 }
 
 // docDirectives returns directives written in a function's doc-comment

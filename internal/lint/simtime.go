@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The simtime pass keeps the simulator's two time domains apart. The
+// model advances in simulated cycles (uint64 counters owned by the
+// cpu/mc/dram clocks); the harness measures wall-clock time (time.Time
+// and friends, injected so tests can fake it). The two must never meet
+// in arithmetic or comparison — a cycle count compared against a
+// wall-clock duration is always a unit bug — and a cycle counter must
+// be monotonic: simulated time never runs backwards. Converting between
+// domains is legal only through an explicit rate (multiplication or
+// division), which is why `CyclesPerSec = Cycles / WallSeconds` passes.
+
+// SimtimeAnalyzer is the time-domain separation pass.
+var SimtimeAnalyzer = &Analyzer{
+	Name: "simtime",
+	Doc:  "keep simulated-cycle and wall-clock values out of mixed arithmetic; keep cycle counters monotonic",
+	Scope: PathScope(
+		"asdsim/internal/mc",
+		"asdsim/internal/dram",
+		"asdsim/internal/sim",
+		"asdsim/internal/cluster",
+	),
+	Run: runSimtime,
+}
+
+// timeDomain is the lattice for one expression's time semantics.
+type timeDomain int
+
+const (
+	domUnknown timeDomain = iota // ⊥: no time semantics inferred
+	domCycle                     // simulated cycles
+	domWall                      // host wall-clock
+)
+
+func (d timeDomain) String() string {
+	switch d {
+	case domCycle:
+		return "simulated cycles"
+	case domWall:
+		return "wall-clock time"
+	}
+	return "unknown"
+}
+
+func runSimtime(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, trusted := pass.Pkg.funcTrustReason(fn, pass.Analyzer.Name); trusted {
+				continue
+			}
+			checkSimtimeFunc(pass, fn)
+		}
+	}
+}
+
+func checkSimtimeFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				dx, dy := domainOf(pass, n.X), domainOf(pass, n.Y)
+				if (dx == domCycle && dy == domWall) || (dx == domWall && dy == domCycle) {
+					pass.Report(n.OpPos,
+						"cross-domain time arithmetic: %s (%s) %s %s (%s); convert through an explicit rate instead",
+						types.ExprString(n.X), dx, n.Op, types.ExprString(n.Y), dy)
+				}
+			}
+		case *ast.AssignStmt:
+			checkSimtimeAssign(pass, n)
+		case *ast.IncDecStmt:
+			if n.Tok == token.DEC && domainOf(pass, n.X) == domCycle {
+				pass.Report(n.Pos(),
+					"non-monotonic cycle assignment: %s is decremented; simulated time never runs backwards",
+					types.ExprString(n.X))
+			}
+		}
+		return true
+	})
+}
+
+func checkSimtimeAssign(pass *Pass, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		dl, dr := domainOf(pass, lhs), domainOf(pass, n.Rhs[i])
+		if n.Tok == token.SUB_ASSIGN && dl == domCycle {
+			pass.Report(n.TokPos,
+				"non-monotonic cycle assignment: %s is decremented; simulated time never runs backwards",
+				types.ExprString(lhs))
+			continue
+		}
+		if (dl == domCycle && dr == domWall) || (dl == domWall && dr == domCycle) {
+			pass.Report(n.TokPos,
+				"cross-domain assignment: %s (%s) = %s (%s); convert through an explicit rate instead",
+				types.ExprString(lhs), dl, types.ExprString(n.Rhs[i]), dr)
+		}
+	}
+}
+
+// domainOf infers an expression's time domain from its static type
+// (time.Time/time.Duration and their methods are wall-clock) and from
+// naming (cycle-named counters are simulated time; wall/MS-suffixed
+// names are wall-clock). Multiplication and division launder domains on
+// purpose: rates are the sanctioned bridge between them.
+func domainOf(pass *Pass, e ast.Expr) timeDomain {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Pkg.Info.Types[e]; ok {
+		if tv.Value != nil {
+			return domUnknown // constants carry no domain
+		}
+		if tv.Type != nil && isWallType(tv.Type) {
+			return domWall
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return domainOfName(e.Name)
+	case *ast.SelectorExpr:
+		return domainOfName(e.Sel.Name)
+	case *ast.CallExpr:
+		// Conversions are transparent; method results classify by the
+		// receiver's wall-ness (d.Seconds() is still wall-clock) or by
+		// the callee's name.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.Pkg.Info.Types[e.Fun]; ok && tv.IsType() {
+				return domainOf(pass, e.Args[0])
+			}
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if t := pass.TypeOf(sel.X); t != nil && isWallType(t) {
+				return domWall
+			}
+			return domainOfName(sel.Sel.Name)
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			return domainOfName(id.Name)
+		}
+		return domUnknown
+	case *ast.UnaryExpr:
+		return domainOf(pass, e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL, token.QUO, token.REM:
+			return domUnknown // rate conversion: the sanctioned bridge
+		}
+		dx, dy := domainOf(pass, e.X), domainOf(pass, e.Y)
+		if dx != domUnknown {
+			return dx
+		}
+		return dy
+	case *ast.IndexExpr:
+		return domainOf(pass, e.X)
+	}
+	return domUnknown
+}
+
+// isWallType reports whether t is one of the wall-clock types.
+func isWallType(t types.Type) bool {
+	switch types.TypeString(t, nil) {
+	case "time.Time", "time.Duration", "*time.Time", "*time.Timer", "*time.Ticker":
+		return true
+	}
+	return false
+}
+
+// domainOfName classifies an identifier by naming convention.
+func domainOfName(name string) timeDomain {
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "cycle") {
+		// Rates like CyclesPerSec live in neither domain.
+		if strings.Contains(lower, "persec") || strings.Contains(lower, "rate") {
+			return domUnknown
+		}
+		return domCycle
+	}
+	if strings.Contains(lower, "wall") || strings.HasSuffix(name, "MS") || strings.HasSuffix(name, "Millis") {
+		return domWall
+	}
+	return domUnknown
+}

@@ -1,0 +1,38 @@
+// Package lockdep is the dependency side of the cross-package
+// lockorder fixture: it establishes a lock order and exports helpers
+// whose summaries (acquires, blocking) flow to importers as facts.
+package lockdep
+
+import (
+	"os"
+	"sync"
+)
+
+type Reg struct{ Mu sync.Mutex }
+
+type Aux struct{ Mu sync.Mutex }
+
+var (
+	R Reg
+	X Aux
+)
+
+// Ordered acquires R before X, exporting that edge to importers.
+func Ordered() {
+	R.Mu.Lock()
+	X.Mu.Lock()
+	X.Mu.Unlock()
+	R.Mu.Unlock()
+}
+
+// Slow is summarized as blocking on file I/O.
+func Slow() {
+	os.ReadFile("x")
+}
+
+// WithR runs f with the registry lock held.
+func WithR(f func()) {
+	R.Mu.Lock()
+	defer R.Mu.Unlock()
+	f()
+}

@@ -1,0 +1,145 @@
+// Package lockfix exercises the lockorder pass within one package:
+// acquisition cycles, double acquires, blocking operations performed
+// while a lock is held, and the escapes that must stay silent.
+package lockfix
+
+import (
+	"os"
+	"sync"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a  A
+	a2 A
+	b  B
+)
+
+// abOrder establishes the order a before b.
+func abOrder() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle`
+	b.mu.Unlock()
+}
+
+// baOrder closes the cycle: b before a.
+func baOrder() {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func doubleAcquire() {
+	a.mu.Lock()
+	a.mu.Lock() // want `guaranteed self-deadlock`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func secondInstance() {
+	a.mu.Lock()
+	a2.mu.Lock() // want `second instance of lockfix.A.mu`
+	a2.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func blockingHeld(ch chan int) {
+	a.mu.Lock()
+	os.ReadFile("x") // want `file I/O`
+	ch <- 1          // want `channel send while holding`
+	<-ch             // want `channel receive while holding`
+	a.mu.Unlock()
+}
+
+func rangeChan(ch chan int) {
+	a.mu.Lock()
+	for range ch { // want `range over channel while holding`
+	}
+	a.mu.Unlock()
+}
+
+// acquiresA is summarized as acquiring lockfix.A.mu.
+func acquiresA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func callerHoldsA() {
+	a.mu.Lock()
+	acquiresA() // want `acquires lockfix.A.mu which is already held`
+	a.mu.Unlock()
+}
+
+// mayBlock is summarized as blocking (file I/O); calling it without a
+// lock held is fine.
+func mayBlock() {
+	os.ReadFile("x")
+}
+
+func callerBlocks() {
+	b.mu.Lock()
+	mayBlock() // want `may block \(file I/O\) while holding lockfix.B.mu`
+	b.mu.Unlock()
+}
+
+// --- negatives: these must stay silent ---
+
+// nonblockingSelect: a select with a default never blocks.
+func nonblockingSelect(ch chan int) {
+	a.mu.Lock()
+	select {
+	case v := <-ch:
+		_ = v
+	case ch <- 2:
+	default:
+	}
+	a.mu.Unlock()
+}
+
+// condHold: the lock is not held on every path to the I/O, so the
+// must-hold analysis stays quiet.
+func condHold(cond bool) {
+	if cond {
+		a.mu.Lock()
+	}
+	os.ReadFile("x")
+	if cond {
+		a.mu.Unlock()
+	}
+}
+
+// deferred work and goroutine bodies are not on the caller's lock path.
+func spawns(ch chan int) {
+	a.mu.Lock()
+	go func() { ch <- 1 }()
+	defer os.ReadFile("x")
+	a.mu.Unlock()
+}
+
+// trusted is vouched for at the function boundary: the empty summary
+// keeps callers clean and its body is not walked.
+//
+//asd:allow lockorder fixture trusted boundary with deliberate pinned I/O
+func trusted() {
+	a.mu.Lock()
+	os.ReadFile("x")
+	a.mu.Unlock()
+}
+
+func callsTrusted() {
+	b.mu.Lock()
+	trusted()
+	b.mu.Unlock()
+}
+
+// lineAllowed escapes one finding with a reasoned line directive.
+func lineAllowed() {
+	a.mu.Lock()
+	os.ReadFile("x") //asd:allow lockorder fixture accepts pinned I/O here
+	a.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package lockuse imports lockdep and exercises the cross-package
+// side of the lockorder pass: dependency facts seed the order graph
+// and callee summaries report at the call site.
+package lockuse
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type T struct{ mu sync.Mutex }
+
+var t T
+
+// crossCycle closes the R-before-X order exported by lockdep.Ordered:
+// acquiring R while holding X completes a cycle witnessed only here.
+func crossCycle() {
+	lockdep.X.Mu.Lock()
+	lockdep.R.Mu.Lock() // want `lock-order cycle`
+	lockdep.R.Mu.Unlock()
+	lockdep.X.Mu.Unlock()
+}
+
+// holdAndCallSlow calls a dependency whose exported summary blocks.
+func holdAndCallSlow() {
+	t.mu.Lock()
+	lockdep.Slow() // want `may block \(file I/O\) while holding lockuse.T.mu`
+	t.mu.Unlock()
+}

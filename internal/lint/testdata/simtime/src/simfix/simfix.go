@@ -1,0 +1,60 @@
+// Package simfix exercises the simtime pass: the simulated-cycle and
+// wall-clock domains must not meet in arithmetic or comparison, and a
+// cycle counter never decreases.
+package simfix
+
+import "time"
+
+type ev struct{ Cycle uint64 }
+
+func compareCross(cycles uint64, start time.Time) bool {
+	wallMS := time.Since(start).Milliseconds()
+	return int64(cycles) > wallMS // want `cross-domain time arithmetic`
+}
+
+func addCross(cycles uint64, wallSeconds float64) float64 {
+	return float64(cycles) + wallSeconds // want `cross-domain time arithmetic`
+}
+
+func assignCross(start time.Time) {
+	var cycles uint64
+	cycles = uint64(time.Since(start)) // want `cross-domain assignment`
+	_ = cycles
+}
+
+func decrement() {
+	var cycle uint64 = 10
+	cycle--    // want `non-monotonic cycle assignment`
+	cycle -= 2 // want `non-monotonic cycle assignment`
+	_ = cycle
+}
+
+// --- negatives: these must stay silent ---
+
+// rate conversion through division is the sanctioned bridge.
+func rate(cycles uint64, wallSeconds float64) float64 {
+	return float64(cycles) / wallSeconds
+}
+
+func sameDomain(e ev, cycles uint64) bool {
+	return e.Cycle > cycles
+}
+
+func wallOnly(start time.Time) bool {
+	return time.Since(start) > time.Second
+}
+
+func cycleDelta(startCycle, endCycle uint64) uint64 {
+	return endCycle - startCycle
+}
+
+// trustedMix is vouched for at the function boundary.
+//
+//asd:allow simtime fixture mixes domains deliberately for a display heuristic
+func trustedMix(cycles uint64, wallMS int64) bool {
+	return int64(cycles) > wallMS
+}
+
+func lineAllowedMix(cycles uint64, wallMS int64) bool {
+	return int64(cycles) > wallMS //asd:allow simtime fixture accepts this mixed comparison
+}

@@ -1,0 +1,84 @@
+// Package wirebounds exercises the decode length-guard half of the
+// wirecheck pass: a length read from wire input must be checked
+// against a limit before it sizes an allocation.
+package wirebounds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+func decodeBad(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) // want `unbounded wire-sized allocation`
+}
+
+func decodeBadConv(b []byte) []uint32 {
+	n, _ := binary.Uvarint(b)
+	return make([]uint32, int(n)) // want `unbounded wire-sized allocation`
+}
+
+const maxN = 1 << 16
+
+func decodeGuarded(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	if n > maxN {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// decodeViaHelper mirrors the repo codecs' getN idiom: the helper's
+// name marks its result as bounded.
+func decodeViaHelper(r io.Reader) ([]byte, error) {
+	br := bufio.NewReader(r)
+	getN := func(limit uint64) (uint64, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if n > limit {
+			return 0, errors.New("count exceeds limit")
+		}
+		return n, nil
+	}
+	n, err := getN(4096)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}
+
+// constSized and lenSized are trivially bounded.
+func constSized(b []byte) []byte {
+	head := make([]byte, 8)
+	copy(head, b)
+	return head
+}
+
+func lenSized(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// notWireInput has no reader or byte-slice parameter, so it is outside
+// the decode surface.
+func notWireInput(count int) []int {
+	return make([]int, count)
+}
+
+// decodeTrusted is vouched for at the function boundary.
+//
+//asd:allow wirecheck fixture trusts this decoder's upstream size cap
+func decodeTrusted(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n)
+}
+
+func decodeLineAllowed(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	return make([]byte, n) //asd:allow wirecheck fixture caps the input upstream
+}

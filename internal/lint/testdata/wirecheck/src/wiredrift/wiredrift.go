@@ -1,0 +1,18 @@
+// Package wiredrift exercises the wire.lock diff half of the
+// wirecheck pass. The wire.lock next to this file locks three structs;
+// the source below drifts from it on purpose.
+package wiredrift // want `wire struct wiredrift.Gone is in wire.lock but no longer declared`
+
+// Drifted drifted in two ways: Name's wire name changed and Count was
+// retyped.
+type Drifted struct { // want `drifted from wire.lock: field 0 renamed` `drifted from wire.lock: field "count" retyped`
+	Name  string `json:"nm"`
+	Count int64  `json:"count"`
+}
+
+// Stable matches its locked shape exactly.
+type Stable struct {
+	ID     uint64 `json:"id"`
+	hidden int    // unexported: not part of the wire surface
+	Skip   int    `json:"-"` // json:"-": not part of the wire surface
+}
